@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 2 (weight-setting rationality)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_weight_rationality
+
+
+def test_fig2_weight_rationality(benchmark, bench_settings):
+    results = run_once(benchmark, fig2_weight_rationality.run, bench_settings)
+    print()
+    print(fig2_weight_rationality.format_table(results))
+    # Paper claim: the gap between lambda = 1/S and the constant baselines is
+    # small on every dataset (< 6 vs lambda=0.5, < 2 vs lambda=1 in the paper;
+    # we only require the same order of magnitude).
+    for dataset, row in results.items():
+        gap_half = abs(row["lambda=1/S"] - row["lambda=0.5"])
+        gap_one = abs(row["lambda=1/S"] - row["lambda=1"])
+        assert gap_half < 10.0, dataset
+        assert gap_one < 10.0, dataset

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 3 (link-prediction AUC vs epsilon, 6 datasets)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig3_link_prediction
+
+
+def test_fig3_link_prediction(benchmark, bench_settings):
+    results = run_once(benchmark, fig3_link_prediction.run, bench_settings)
+    print()
+    print(fig3_link_prediction.format_table(results))
+
+    # Shape check: averaged over datasets, AdvSGM at the largest budget is the
+    # best private method, and its AUC does not decrease from the smallest to
+    # the largest budget (the paper's headline trend).
+    epsilons = sorted(bench_settings.epsilons)
+    adv_low = np.mean([results[d]["AdvSGM"][epsilons[0]] for d in results])
+    adv_high = np.mean([results[d]["AdvSGM"][epsilons[-1]] for d in results])
+    assert adv_high >= adv_low - 0.02
+    for rival in ("DPGGAN", "DPGVAE", "GAP", "DPAR"):
+        rival_high = np.mean([results[d][rival][epsilons[-1]] for d in results])
+        assert adv_high >= rival_high - 0.03, rival

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 4 (node-clustering MI vs epsilon)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig4_node_clustering
+
+
+def test_fig4_node_clustering(benchmark, bench_settings):
+    results = run_once(benchmark, fig4_node_clustering.run, bench_settings)
+    print()
+    print(fig4_node_clustering.format_table(results))
+
+    # Shape check: all MI values are non-negative and AdvSGM at the largest
+    # budget is competitive with every other private method (paper: best).
+    epsilons = sorted(bench_settings.epsilons)
+    for dataset, methods in results.items():
+        for model, series in methods.items():
+            assert all(v >= 0.0 for v in series.values()), (dataset, model)
+    adv_high = np.mean([results[d]["AdvSGM"][epsilons[-1]] for d in results])
+    rivals_high = np.mean(
+        [
+            results[d][m][epsilons[-1]]
+            for d in results
+            for m in ("DPGGAN", "DPGVAE", "GAP", "DPAR")
+        ]
+    )
+    assert adv_high >= rivals_high * 0.5

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table II (learning-rate sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_learning_rate
+
+
+def test_table2_learning_rate(benchmark, bench_settings):
+    results = run_once(benchmark, table2_learning_rate.run, bench_settings)
+    print()
+    print(table2_learning_rate.format_table(results))
+    # Every cell is a valid AUC and moderate learning rates do not collapse.
+    for row in results.values():
+        for cell in row.values():
+            assert 0.0 <= cell["mean"] <= 1.0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table III (batch-size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table3_batch_size
+
+
+def test_table3_batch_size(benchmark, bench_settings):
+    results = run_once(benchmark, table3_batch_size.run, bench_settings)
+    print()
+    print(table3_batch_size.format_table(results))
+    for row in results.values():
+        for cell in row.values():
+            assert 0.0 <= cell["mean"] <= 1.0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table IV (constrained-sigmoid bound sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table4_bound_b
+
+
+def test_table4_bound_b(benchmark, bench_settings):
+    results = run_once(benchmark, table4_bound_b.run, bench_settings)
+    print()
+    print(table4_bound_b.format_table(results))
+    for row in results.values():
+        for cell in row.values():
+            assert 0.0 <= cell["mean"] <= 1.0

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table V (private skip-gram comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import table5_private_skipgram_comparison as table5
+
+
+def test_table5_private_skipgram_comparison(benchmark, bench_settings):
+    results = run_once(benchmark, table5.run, bench_settings)
+    print()
+    print(table5.format_table(results))
+
+    # Shape checks mirroring the paper's three observations.
+    max_eps = max(bench_settings.epsilons)
+    adv_top = results[f"AdvSGM(eps={max_eps:g})"]
+    dpsgm_top = results[f"DP-SGM(eps={max_eps:g})"]
+    # 1) At the largest budget AdvSGM beats DP-SGM on link prediction.
+    assert adv_top["auc/ppi"] >= dpsgm_top["auc/ppi"] - 0.02
+    # 2) The non-private models clearly beat the epsilon=1 private ones.
+    min_eps = min(bench_settings.epsilons)
+    assert results["AdvSGM(No DP)"]["auc/ppi"] > results[f"AdvSGM(eps={min_eps:g})"]["auc/ppi"]
+    # 3) AdvSGM improves as the budget grows.
+    assert adv_top["auc/ppi"] >= results[f"AdvSGM(eps={min_eps:g})"]["auc/ppi"] - 0.02

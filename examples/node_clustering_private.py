@@ -1,0 +1,77 @@
+"""Private node clustering: release embeddings once, analyse them freely.
+
+Demonstrates the post-processing property: after AdvSGM releases a private
+embedding matrix, any number of downstream analyses (clustering, similarity
+queries, nearest neighbours) can run on it without consuming additional
+privacy budget.
+
+Run with::
+
+    python examples/node_clustering_private.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AdvSGM, AdvSGMConfig, NodeClusteringTask, load_dataset
+from repro.evals.metrics import normalized_mutual_information
+
+
+def main() -> None:
+    graph = load_dataset("blog", scale=0.4, seed=3)
+    print(f"dataset: {graph} with {len(graph.label_counts())} label classes")
+
+    config = AdvSGMConfig(
+        embedding_dim=64,
+        batch_size=8,
+        num_epochs=80,
+        discriminator_steps=15,
+        generator_steps=5,
+        epsilon=6.0,
+    )
+    model = AdvSGM(graph, config, rng=3).fit()
+    spent = model.privacy_spent()
+    print(f"released embeddings under epsilon={spent.epsilon:.2f}, delta={spent.delta}")
+    embeddings = model.embeddings
+
+    # Analysis 1: Affinity Propagation clustering scored by MI (paper Fig. 4).
+    clustering = NodeClusteringTask(graph, max_iterations=120)
+    result = clustering.evaluate(embeddings)
+    print(
+        f"affinity propagation: {result.num_clusters} clusters, "
+        f"MI={result.mutual_information:.4f}, NMI={result.normalized_mutual_information:.4f}"
+    )
+
+    # Analysis 2: a second clustering granularity — still no extra budget.
+    coarse = NodeClusteringTask(graph, max_iterations=120, preference=-50.0)
+    coarse_result = coarse.evaluate(embeddings)
+    print(
+        f"coarse clustering (low preference): {coarse_result.num_clusters} clusters, "
+        f"MI={coarse_result.mutual_information:.4f}"
+    )
+
+    # Analysis 3: nearest-neighbour queries in the embedding space.
+    target = int(np.argmax(graph.degrees))
+    scores = embeddings @ embeddings[target]
+    scores[target] = -np.inf
+    neighbours = np.argsort(scores)[-5:][::-1]
+    true_neighbours = set(graph.neighbours(target).tolist())
+    overlap = sum(1 for n in neighbours if int(n) in true_neighbours)
+    print(
+        f"top-5 embedding neighbours of hub node {target}: {neighbours.tolist()} "
+        f"({overlap} are true graph neighbours)"
+    )
+
+    # Sanity: label agreement between two independent clusterings of the same
+    # private embeddings (post-processing outputs are as consistent as the
+    # embeddings allow).
+    agreement = normalized_mutual_information(
+        clustering._clusterer.fit_predict(embeddings),
+        coarse._clusterer.fit_predict(embeddings),
+    )
+    print(f"NMI between the two clustering granularities: {agreement:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Privacy/utility trade-off: sweep the budget and compare against baselines.
+
+Reproduces a miniature version of the paper's Fig. 3 on one dataset: AdvSGM,
+DP-SGM and DPAR are trained at several privacy budgets and their link
+prediction AUC is printed next to the non-private skip-gram reference.
+
+Run with::
+
+    python examples/privacy_utility_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import AdvSGM, LinkPredictionTask, load_dataset
+from repro.baselines import DPAR, DPARConfig, DPSGM, DPSGMConfig
+from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runners import advsgm_config
+
+EPSILONS = (1.0, 2.0, 4.0, 6.0)
+
+
+def main() -> None:
+    settings = ExperimentSettings(dataset_scale=0.5, embedding_dim=64, dp_epochs=120)
+    graph = load_dataset("facebook", scale=settings.dataset_scale, seed=7)
+    task = LinkPredictionTask(graph, rng=7)
+    train_graph = task.train_graph
+    print(f"dataset: {graph}")
+
+    # Non-private reference.
+    sgm = SkipGramModel(
+        train_graph,
+        SkipGramConfig(embedding_dim=64, num_epochs=30, batches_per_epoch=15, batch_size=128),
+        rng=7,
+    ).fit()
+    print(f"non-private SGM reference AUC: {task.evaluate(sgm.score_edges).auc:.4f}\n")
+
+    header = f"{'epsilon':>8} {'AdvSGM':>10} {'DP-SGM':>10} {'DPAR':>10}"
+    print(header)
+    for epsilon in EPSILONS:
+        advsgm = AdvSGM(train_graph, advsgm_config(settings, epsilon), rng=7).fit()
+        dpsgm = DPSGM(
+            train_graph,
+            DPSGMConfig(
+                embedding_dim=64,
+                batch_size=settings.dp_batch_size,
+                num_epochs=settings.dp_epochs,
+                batches_per_epoch=settings.discriminator_steps,
+                epsilon=epsilon,
+            ),
+            rng=7,
+        ).fit()
+        dpar = DPAR(
+            train_graph, DPARConfig(embedding_dim=64, num_epochs=10, epsilon=epsilon), rng=7
+        ).fit()
+        print(
+            f"{epsilon:>8.1f} "
+            f"{task.evaluate(advsgm.score_edges).auc:>10.4f} "
+            f"{task.evaluate(dpsgm.score_edges).auc:>10.4f} "
+            f"{task.evaluate(dpar.score_edges).auc:>10.4f}"
+        )
+
+    print(
+        "\nExpected shape (paper Fig. 3): AdvSGM grows with epsilon and beats the"
+        " baselines, DP-SGM stays near 0.5."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: train a differentially private AdvSGM embedding and use it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script loads the PPI dataset analogue, trains AdvSGM under a (6, 1e-5)
+privacy budget, reports the budget actually spent, and evaluates the released
+embeddings on link prediction and node clustering.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdvSGM,
+    AdvSGMConfig,
+    LinkPredictionTask,
+    NodeClusteringTask,
+    load_dataset,
+)
+
+
+def main() -> None:
+    # 1. Load a graph.  The synthetic "ppi" analogue mirrors the structure of
+    #    the paper's protein-protein interaction dataset at laptop scale.
+    graph = load_dataset("ppi", scale=0.5, seed=42)
+    print(f"loaded {graph}")
+
+    # 2. Hold out 10% of the edges for link-prediction evaluation.
+    task = LinkPredictionTask(graph, test_fraction=0.1, rng=42)
+
+    # 3. Configure AdvSGM.  Defaults follow the paper; here we shrink the
+    #    schedule so the example finishes in under a minute.
+    config = AdvSGMConfig(
+        embedding_dim=64,
+        batch_size=8,
+        num_epochs=60,
+        discriminator_steps=15,
+        generator_steps=5,
+        epsilon=6.0,       # target privacy budget
+        delta=1e-5,
+        noise_multiplier=5.0,
+    )
+
+    # 4. Train.  Training stops automatically once the RDP accountant says the
+    #    next update would exceed the (epsilon, delta) budget.
+    model = AdvSGM(task.train_graph, config, rng=42).fit()
+    spent = model.privacy_spent()
+    print(
+        f"training done: {model.accountant.steps} gradient steps, "
+        f"privacy spent epsilon={spent.epsilon:.2f} (target {config.epsilon}), "
+        f"stopped_early={model.stopped_early}"
+    )
+
+    # 5. Use the released embeddings downstream (post-processing is free).
+    link_result = task.evaluate(model.score_edges)
+    print(f"link prediction AUC: {link_result.auc:.4f}")
+
+    clustering = NodeClusteringTask(graph, max_iterations=100)
+    cluster_result = clustering.evaluate(model.embeddings)
+    print(
+        f"node clustering: MI={cluster_result.mutual_information:.4f}, "
+        f"{cluster_result.num_clusters} clusters"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` can fall back to the legacy setuptools editable install
+when PEP 660 builds are unavailable (offline environments without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

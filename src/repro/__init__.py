@@ -1,0 +1,57 @@
+"""AdvSGM reproduction: differentially private graph embeddings via an
+adversarial skip-gram model (Zhang et al., ICDE 2025).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.graph``
+    Graph data structure, synthetic dataset generators that stand in for the
+    paper's public datasets, sampling routines (Algorithm 2) and edge-split
+    utilities.
+``repro.nn``
+    Minimal NumPy neural-network substrate: numerically stable activations,
+    the constrained sigmoid built from exponential clipping (Algorithm 1),
+    parameter initialisers, optimizers and the dense/GCN layers used by the
+    GNN baselines.
+``repro.privacy``
+    Differential-privacy substrate: Gaussian mechanism, gradient clipping,
+    RDP of the subsampled Gaussian mechanism, composition, conversion to
+    (epsilon, delta)-DP and a privacy accountant.
+``repro.embedding``
+    Non-private skip-gram family models (LINE-style SGM, DeepWalk, node2vec
+    walks, the adversarial skip-gram without privacy).
+``repro.core``
+    AdvSGM itself (Algorithm 3): discriminator with optimizable noise terms,
+    generator, weight tuning lambda = 1/S(.) and RDP-accounted training.
+``repro.baselines``
+    Private baselines: DP-SGM, DP-ASGM, DPGGAN, DPGVAE, GAP and DPAR.
+``repro.evals``
+    Link-prediction and node-clustering evaluation protocols (AUC, affinity
+    propagation, mutual information).
+``repro.experiments``
+    One module per paper table/figure that regenerates the reported series.
+"""
+
+from repro.core.advsgm import AdvSGM
+from repro.core.config import AdvSGMConfig
+from repro.embedding.skipgram import SkipGramModel
+from repro.embedding.adversarial import AdversarialSkipGram
+from repro.graph.graph import Graph
+from repro.graph.datasets import load_dataset, list_datasets
+from repro.evals.link_prediction import LinkPredictionTask
+from repro.evals.clustering import NodeClusteringTask
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvSGM",
+    "AdvSGMConfig",
+    "SkipGramModel",
+    "AdversarialSkipGram",
+    "Graph",
+    "load_dataset",
+    "list_datasets",
+    "LinkPredictionTask",
+    "NodeClusteringTask",
+    "__version__",
+]

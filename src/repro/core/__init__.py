@@ -1,0 +1,24 @@
+"""AdvSGM core: the paper's primary contribution.
+
+* :class:`repro.core.config.AdvSGMConfig` — hyper-parameters and privacy
+  budget.
+* :class:`repro.core.generator.FakeNeighbourGenerator` — the two noise-driven
+  generators producing fake neighbours (Section II-B.1 / Eq. 17).
+* :class:`repro.core.discriminator.AdvSGMDiscriminator` — skip-gram module +
+  adversarial training module with optimizable noise terms (Eqs. 13-24) and
+  the Theorem-6 gradient perturbation.
+* :class:`repro.core.advsgm.AdvSGM` — Algorithm 3: alternating training with
+  RDP accounting and budget-driven early stopping.
+"""
+
+from repro.core.advsgm import AdvSGM
+from repro.core.config import AdvSGMConfig
+from repro.core.discriminator import AdvSGMDiscriminator
+from repro.core.generator import FakeNeighbourGenerator
+
+__all__ = [
+    "AdvSGM",
+    "AdvSGMConfig",
+    "AdvSGMDiscriminator",
+    "FakeNeighbourGenerator",
+]

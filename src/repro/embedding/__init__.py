@@ -1,0 +1,14 @@
+"""Non-private skip-gram family embedding models.
+
+``SkipGramModel`` is the LINE-style structure-preservation model the paper
+uses as its skip-gram module (Eq. 2); ``DeepWalk`` and ``Node2Vec`` train the
+same model from walk corpora; ``AdversarialSkipGram`` is AdvSGM with privacy
+disabled — the "AdvSGM (No DP)" row of Table V.
+"""
+
+from repro.embedding.skipgram import SkipGramModel
+from repro.embedding.deepwalk import DeepWalk
+from repro.embedding.node2vec import Node2Vec
+from repro.embedding.adversarial import AdversarialSkipGram
+
+__all__ = ["SkipGramModel", "DeepWalk", "Node2Vec", "AdversarialSkipGram"]

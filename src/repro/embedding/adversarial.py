@@ -1,0 +1,54 @@
+"""AdvSGM without differential privacy — the "AdvSGM (No DP)" model.
+
+Table V of the paper compares the non-private adversarial skip-gram against
+the plain skip-gram to show that the adversarial module improves utility even
+before privacy enters the picture.  This class is a thin convenience wrapper
+around :class:`repro.core.AdvSGM` with ``dp_enabled=False`` so the example
+scripts and experiments can treat it like any other embedding model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.advsgm import AdvSGM
+from repro.core.config import AdvSGMConfig
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike
+
+
+class AdversarialSkipGram:
+    """Non-private adversarial skip-gram (AdvSGM with the noise switched off)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[AdvSGMConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        base = config or AdvSGMConfig()
+        self.config = replace(base, dp_enabled=False)
+        self._model = AdvSGM(graph, self.config, rng=rng)
+        self.graph = graph
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Learned node embeddings."""
+        return self._model.embeddings
+
+    @property
+    def history(self):
+        """Training history of the underlying AdvSGM trainer."""
+        return self._model.history
+
+    def fit(self) -> "AdversarialSkipGram":
+        """Train the model and return ``self``."""
+        self._model.fit()
+        return self
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Link-prediction scores for an ``(n, 2)`` array of node pairs."""
+        return self._model.score_edges(pairs)

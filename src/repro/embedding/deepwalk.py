@@ -1,0 +1,132 @@
+"""DeepWalk: skip-gram over uniform random-walk co-occurrence pairs.
+
+DeepWalk (Perozzi et al., 2014) treats truncated random walks as sentences and
+trains a skip-gram model over (centre, context) pairs drawn from a sliding
+window.  This implementation reuses the :class:`SkipGramModel` gradient code
+but feeds it walk-derived pairs instead of edge samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.random_walk import random_walks, walks_to_pairs
+from repro.nn.functional import sigmoid
+from repro.nn.init import uniform_embedding
+from repro.utils.logging import TrainingHistory
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class DeepWalkConfig:
+    """Hyper-parameters of DeepWalk."""
+
+    embedding_dim: int = 128
+    num_walks: int = 5
+    walk_length: int = 20
+    window_size: int = 5
+    num_negatives: int = 5
+    learning_rate: float = 0.05
+    num_epochs: int = 2
+    batch_size: int = 512
+
+    def __post_init__(self) -> None:
+        for name in ("embedding_dim", "num_walks", "walk_length", "window_size",
+                     "num_negatives", "num_epochs", "batch_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        check_positive(self.learning_rate, "learning_rate")
+
+
+class DeepWalk:
+    """DeepWalk trainer built on the shared skip-gram update rule."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[DeepWalkConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or DeepWalkConfig()
+        self._init_rng, self._walk_rng, self._train_rng = spawn_rngs(rng, 3)
+        dim = self.config.embedding_dim
+        self.w_in = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
+        self.w_out = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
+        self.history = TrainingHistory()
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Released node embeddings."""
+        return self.w_in
+
+    def _generate_pairs(self) -> np.ndarray:
+        walks = random_walks(
+            self.graph,
+            num_walks=self.config.num_walks,
+            walk_length=self.config.walk_length,
+            rng=self._walk_rng,
+        )
+        return walks_to_pairs(walks, window_size=self.config.window_size)
+
+    def _train_on_pairs(self, pairs: np.ndarray) -> float:
+        """One pass of mini-batch skip-gram updates over ``pairs``."""
+        cfg = self.config
+        order = self._train_rng.permutation(pairs.shape[0])
+        total_loss = 0.0
+        num_batches = 0
+        for start in range(0, pairs.shape[0], cfg.batch_size):
+            batch = pairs[order[start : start + cfg.batch_size]]
+            centres, contexts = batch[:, 0], batch[:, 1]
+            negatives = self._train_rng.integers(
+                0, self.graph.num_nodes, size=(batch.shape[0], cfg.num_negatives)
+            )
+
+            v_c = self.w_in[centres]
+            v_o = self.w_out[contexts]
+            pos_scores = np.einsum("ij,ij->i", v_c, v_o)
+            pos_coeff = 1.0 - sigmoid(pos_scores)
+
+            grad_centre = pos_coeff[:, None] * v_o
+            grad_context = pos_coeff[:, None] * v_c
+            neg_vectors = self.w_out[negatives]  # (B, k, dim)
+            neg_scores = np.einsum("ij,ikj->ik", v_c, neg_vectors)
+            neg_coeff = -sigmoid(neg_scores)
+            grad_centre += np.einsum("ik,ikj->ij", neg_coeff, neg_vectors)
+
+            lr = cfg.learning_rate
+            np.add.at(self.w_in, centres, lr * grad_centre)
+            np.add.at(self.w_out, contexts, lr * grad_context)
+            np.add.at(
+                self.w_out,
+                negatives.ravel(),
+                lr * (neg_coeff[:, :, None] * v_c[:, None, :]).reshape(-1, v_c.shape[1]),
+            )
+
+            with np.errstate(over="ignore"):
+                batch_obj = np.log(sigmoid(pos_scores) + 1e-12).sum() + np.log(
+                    sigmoid(-neg_scores) + 1e-12
+                ).sum()
+            total_loss += float(-batch_obj / batch.shape[0])
+            num_batches += 1
+        return total_loss / max(1, num_batches)
+
+    def fit(self) -> "DeepWalk":
+        """Generate walks and train for the configured number of epochs."""
+        pairs = self._generate_pairs()
+        if pairs.shape[0] == 0:
+            raise RuntimeError("random walks produced no training pairs")
+        for _ in range(self.config.num_epochs):
+            loss = self._train_on_pairs(pairs)
+            self.history.record("loss", loss)
+        return self
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Link-prediction scores from input-vector inner products."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return np.einsum("ij,ij->i", self.w_in[pairs[:, 0]], self.w_in[pairs[:, 1]])

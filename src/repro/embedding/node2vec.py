@@ -1,0 +1,58 @@
+"""node2vec: skip-gram over second-order biased random walks.
+
+node2vec (Grover & Leskovec, 2016) generalises DeepWalk with two parameters:
+``p`` (return) and ``q`` (in-out) that bias the walk towards BFS- or DFS-like
+exploration.  The training procedure is identical to DeepWalk once the walk
+corpus is produced, so this class subclasses :class:`DeepWalk` and only swaps
+the walk generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.embedding.deepwalk import DeepWalk, DeepWalkConfig
+from repro.graph.graph import Graph
+from repro.graph.random_walk import node2vec_walks, walks_to_pairs
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Node2VecConfig(DeepWalkConfig):
+    """DeepWalk hyper-parameters plus the node2vec bias parameters."""
+
+    p: float = 1.0
+    q: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive(self.p, "p")
+        check_positive(self.q, "q")
+
+
+class Node2Vec(DeepWalk):
+    """node2vec trainer (biased walks + skip-gram)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[Node2VecConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(graph, config or Node2VecConfig(), rng=rng)
+
+    def _generate_pairs(self) -> np.ndarray:
+        cfg: Node2VecConfig = self.config  # type: ignore[assignment]
+        walks = node2vec_walks(
+            self.graph,
+            num_walks=cfg.num_walks,
+            walk_length=cfg.walk_length,
+            p=cfg.p,
+            q=cfg.q,
+            rng=self._walk_rng,
+        )
+        return walks_to_pairs(walks, window_size=cfg.window_size)

@@ -1,0 +1,183 @@
+"""LINE-style skip-gram model with negative sampling (Eq. 2 of the paper).
+
+The model keeps two embedding matrices: ``W_in`` (node/input vectors) and
+``W_out`` (context/output vectors).  For a positive pair ``(i, j)`` and ``k``
+negative nodes ``n`` the per-pair objective (to be maximised) is
+
+    log sigma(v_i . v_j) + sum_n log sigma(-v_n . v_i)
+
+where ``v_i`` is row ``i`` of ``W_in`` and ``v_j``, ``v_n`` are rows of
+``W_out``.  Training follows Algorithm 2's sampling: batches of ``B`` edges
+plus ``B*k`` uniformly sampled negative pairs.
+
+Only the node (input) vectors are released as the embedding, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.sampling import EdgeSampler, SampleBatch
+from repro.nn.functional import log_sigmoid, sigmoid
+from repro.nn.init import uniform_embedding
+from repro.utils.logging import TrainingHistory
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SkipGramConfig:
+    """Hyper-parameters of the non-private skip-gram trainer."""
+
+    embedding_dim: int = 128
+    num_negatives: int = 5
+    batch_size: int = 128
+    learning_rate: float = 0.1
+    num_epochs: int = 50
+    batches_per_epoch: int = 15
+    normalize_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_negatives <= 0:
+            raise ValueError("num_negatives must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        check_positive(self.learning_rate, "learning_rate")
+        if self.num_epochs <= 0 or self.batches_per_epoch <= 0:
+            raise ValueError("num_epochs and batches_per_epoch must be positive")
+
+
+class SkipGramModel:
+    """Skip-gram graph embedding (LINE first-order with negative sampling).
+
+    Parameters
+    ----------
+    graph:
+        Training graph.
+    config:
+        :class:`SkipGramConfig`; defaults follow the paper's settings.
+    rng:
+        Seed or generator controlling initialisation and sampling.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[SkipGramConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or SkipGramConfig()
+        init_rng, sample_rng = spawn_rngs(rng, 2)
+        dim = self.config.embedding_dim
+        self.w_in = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
+        self.w_out = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
+        if self.config.normalize_embeddings:
+            self._normalize()
+        self.sampler = EdgeSampler(
+            graph,
+            batch_size=self.config.batch_size,
+            num_negatives=self.config.num_negatives,
+            rng=sample_rng,
+        )
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # embedding access
+    # ------------------------------------------------------------------
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Released node embeddings (the input vectors ``W_in``)."""
+        return self.w_in
+
+    def _normalize(self) -> None:
+        """Project every embedding row onto the unit ball (ensures C = 1)."""
+        for matrix in (self.w_in, self.w_out):
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            np.divide(matrix, np.maximum(norms, 1.0), out=matrix)
+
+    # ------------------------------------------------------------------
+    # loss / gradients
+    # ------------------------------------------------------------------
+    def pair_scores(self, pairs: np.ndarray) -> np.ndarray:
+        """Inner products ``v_i . v_j`` for an ``(n, 2)`` array of pairs."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return np.einsum(
+            "ij,ij->i", self.w_in[pairs[:, 0]], self.w_out[pairs[:, 1]]
+        )
+
+    def batch_loss(self, batch: SampleBatch) -> float:
+        """Negative mean skip-gram objective of a batch (lower is better)."""
+        pos_scores = self.pair_scores(batch.positive_edges)
+        neg_scores = self.pair_scores(batch.negative_pairs)
+        objective = log_sigmoid(pos_scores).sum() + log_sigmoid(-neg_scores).sum()
+        return float(-objective / max(1, batch.batch_size))
+
+    def _accumulate_gradients(
+        self, batch: SampleBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Ascent gradients for the touched rows of ``W_in`` and ``W_out``.
+
+        Returns ``(grad_in, touched_in, grad_out, touched_out)`` where the
+        gradients are dense ``(num_nodes, dim)`` accumulators and the touched
+        arrays list the unique rows that received contributions.
+        """
+        grad_in = np.zeros_like(self.w_in)
+        grad_out = np.zeros_like(self.w_out)
+
+        pos = batch.positive_edges
+        pos_scores = self.pair_scores(pos)
+        pos_coeff = 1.0 - sigmoid(pos_scores)  # d log sigma(x) / dx
+        np.add.at(grad_in, pos[:, 0], pos_coeff[:, None] * self.w_out[pos[:, 1]])
+        np.add.at(grad_out, pos[:, 1], pos_coeff[:, None] * self.w_in[pos[:, 0]])
+
+        neg = batch.negative_pairs
+        neg_scores = self.pair_scores(neg)
+        neg_coeff = -sigmoid(neg_scores)  # d log sigma(-x) / dx
+        np.add.at(grad_in, neg[:, 0], neg_coeff[:, None] * self.w_out[neg[:, 1]])
+        np.add.at(grad_out, neg[:, 1], neg_coeff[:, None] * self.w_in[neg[:, 0]])
+
+        touched_in = np.unique(np.concatenate([pos[:, 0], neg[:, 0]]))
+        touched_out = np.unique(np.concatenate([pos[:, 1], neg[:, 1]]))
+        return grad_in, touched_in, grad_out, touched_out
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(self) -> float:
+        """One batch of gradient-ascent updates; returns the batch loss.
+
+        Updates follow the usual skip-gram/SGD convention: per-pair gradients
+        are accumulated into their embedding rows and applied with the full
+        learning rate (no division by the batch size), which is how word2vec,
+        LINE and DeepWalk implementations behave.
+        """
+        batch = self.sampler.sample()
+        loss = self.batch_loss(batch)
+        grad_in, touched_in, grad_out, touched_out = self._accumulate_gradients(batch)
+        lr = self.config.learning_rate
+        self.w_in[touched_in] += lr * grad_in[touched_in]
+        self.w_out[touched_out] += lr * grad_out[touched_out]
+        if self.config.normalize_embeddings:
+            self._normalize()
+        return loss
+
+    def fit(self) -> "SkipGramModel":
+        """Run the full training schedule and return ``self``."""
+        for epoch in range(self.config.num_epochs):
+            epoch_loss = 0.0
+            for _ in range(self.config.batches_per_epoch):
+                epoch_loss += self.train_step()
+            self.history.record("loss", epoch_loss / self.config.batches_per_epoch)
+        return self
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Link-prediction scores: inner product of the *input* vectors."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return np.einsum("ij,ij->i", self.w_in[pairs[:, 0]], self.w_in[pairs[:, 1]])

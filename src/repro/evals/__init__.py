@@ -1,0 +1,15 @@
+"""Evaluation substrate: link prediction (AUC) and node clustering (MI)."""
+
+from repro.evals.metrics import roc_auc_score, mutual_information, normalized_mutual_information
+from repro.evals.clustering import AffinityPropagation, NodeClusteringTask
+from repro.evals.link_prediction import LinkPredictionTask, LinkPredictionResult
+
+__all__ = [
+    "roc_auc_score",
+    "mutual_information",
+    "normalized_mutual_information",
+    "AffinityPropagation",
+    "NodeClusteringTask",
+    "LinkPredictionTask",
+    "LinkPredictionResult",
+]

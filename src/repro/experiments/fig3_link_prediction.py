@@ -1,0 +1,52 @@
+"""Fig. 3 — link-prediction AUC vs privacy budget for all private methods.
+
+Five methods (DPGGAN, DPGVAE, GAP, DPAR, AdvSGM) across six datasets and six
+budgets.  The qualitative claim to reproduce: AdvSGM dominates the other
+private methods and its AUC grows with epsilon, while the baselines stay flat
+near 0.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runners import PRIVATE_MODEL_NAMES, evaluate_link_prediction
+
+#: Datasets shown in Fig. 3 (panels a-f).
+FIG3_DATASETS = ("ppi", "facebook", "wiki", "blog", "epinions", "dblp")
+
+
+def run(
+    settings: ExperimentSettings | None = None,
+    datasets: Iterable[str] = FIG3_DATASETS,
+    models: Iterable[str] = PRIVATE_MODEL_NAMES,
+    epsilons: Iterable[float] | None = None,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Return ``{dataset: {model: {epsilon: auc}}}``."""
+    settings = settings or ExperimentSettings.quick()
+    epsilons = tuple(epsilons) if epsilons is not None else settings.epsilons
+    results: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for dataset in datasets:
+        results[dataset] = {}
+        for model in models:
+            series: Dict[float, float] = {}
+            for epsilon in epsilons:
+                outcome = evaluate_link_prediction(model, dataset, epsilon, settings)
+                series[epsilon] = outcome["auc"]
+            results[dataset][model] = series
+    return results
+
+
+def format_table(results: Dict[str, Dict[str, Dict[float, float]]]) -> str:
+    """Render the Fig. 3 series as one text block per dataset panel."""
+    lines = ["Fig. 3 - link-prediction AUC vs epsilon"]
+    for dataset, methods in results.items():
+        lines.append(f"\n[{dataset}]")
+        epsilons = sorted(next(iter(methods.values())).keys())
+        lines.append(f"{'model':<10}" + "".join(f"{e:>10.1f}" for e in epsilons))
+        for model, series in methods.items():
+            lines.append(
+                f"{model:<10}" + "".join(f"{series[e]:>10.4f}" for e in epsilons)
+            )
+    return "\n".join(lines)

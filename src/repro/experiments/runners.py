@@ -1,0 +1,214 @@
+"""Shared model construction and evaluation used by every experiment module."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    DPAR,
+    DPARConfig,
+    DPASGM,
+    DPASGMConfig,
+    DPGGAN,
+    DPGGANConfig,
+    DPGVAE,
+    DPGVAEConfig,
+    DPSGM,
+    DPSGMConfig,
+    GAP,
+    GAPConfig,
+)
+from repro.core.advsgm import AdvSGM
+from repro.core.config import AdvSGMConfig
+from repro.embedding.adversarial import AdversarialSkipGram
+from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+from repro.evals.clustering import NodeClusteringTask
+from repro.evals.link_prediction import LinkPredictionTask
+from repro.experiments.config import ExperimentSettings
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+
+#: Private models compared in Fig. 3 / Fig. 4 of the paper.
+PRIVATE_MODEL_NAMES = ("DPGGAN", "DPGVAE", "GAP", "DPAR", "AdvSGM")
+
+
+def load_experiment_graph(name: str, settings: ExperimentSettings) -> Graph:
+    """Load a dataset analogue at the experiment's scale with a stable seed."""
+    return load_dataset(name, scale=settings.dataset_scale, seed=settings.seed)
+
+
+def advsgm_config(
+    settings: ExperimentSettings,
+    epsilon: float,
+    dp_enabled: bool = True,
+    batch_size: Optional[int] = None,
+    learning_rate: Optional[float] = None,
+    sigmoid_b: Optional[float] = None,
+) -> AdvSGMConfig:
+    """AdvSGM configuration derived from the experiment settings."""
+    lr = settings.learning_rate if learning_rate is None else learning_rate
+    return AdvSGMConfig(
+        embedding_dim=settings.embedding_dim,
+        num_negatives=settings.num_negatives,
+        batch_size=settings.dp_batch_size if batch_size is None else batch_size,
+        learning_rate_d=lr,
+        learning_rate_g=lr,
+        num_epochs=settings.dp_epochs if dp_enabled else settings.nodp_epochs,
+        discriminator_steps=settings.discriminator_steps,
+        generator_steps=settings.generator_steps,
+        noise_multiplier=settings.noise_multiplier,
+        epsilon=epsilon,
+        delta=settings.delta,
+        sigmoid_b=settings.sigmoid_b if sigmoid_b is None else sigmoid_b,
+        dp_enabled=dp_enabled,
+    )
+
+
+def build_private_model(
+    name: str,
+    graph: Graph,
+    epsilon: float,
+    settings: ExperimentSettings,
+    seed: int,
+):
+    """Instantiate one of the compared private models by name (untrained)."""
+    key = name.lower()
+    if key == "advsgm":
+        return AdvSGM(graph, advsgm_config(settings, epsilon), rng=seed)
+    if key == "dp-sgm" or key == "dpsgm":
+        cfg = DPSGMConfig(
+            embedding_dim=settings.embedding_dim,
+            num_negatives=settings.num_negatives,
+            batch_size=settings.dp_batch_size,
+            learning_rate=settings.learning_rate,
+            num_epochs=settings.dp_epochs,
+            batches_per_epoch=settings.discriminator_steps,
+            noise_multiplier=settings.noise_multiplier,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return DPSGM(graph, cfg, rng=seed)
+    if key == "dp-asgm" or key == "dpasgm":
+        cfg = DPASGMConfig(
+            embedding_dim=settings.embedding_dim,
+            num_negatives=settings.num_negatives,
+            batch_size=settings.dp_batch_size,
+            learning_rate=settings.learning_rate,
+            num_epochs=settings.dp_epochs,
+            batches_per_epoch=settings.discriminator_steps,
+            noise_multiplier=settings.noise_multiplier,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return DPASGM(graph, cfg, rng=seed)
+    if key == "dpggan":
+        cfg = DPGGANConfig(
+            embedding_dim=settings.embedding_dim,
+            batch_size=max(32, settings.dp_batch_size),
+            num_epochs=min(settings.dp_epochs, 50),
+            batches_per_epoch=settings.discriminator_steps,
+            noise_multiplier=settings.noise_multiplier,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return DPGGAN(graph, cfg, rng=seed)
+    if key == "dpgvae":
+        cfg = DPGVAEConfig(
+            embedding_dim=settings.embedding_dim,
+            batch_size=max(32, settings.dp_batch_size),
+            num_epochs=min(settings.dp_epochs, 50),
+            batches_per_epoch=settings.discriminator_steps,
+            noise_multiplier=settings.noise_multiplier,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return DPGVAE(graph, cfg, rng=seed)
+    if key == "gap":
+        cfg = GAPConfig(
+            embedding_dim=settings.embedding_dim,
+            num_epochs=settings.gnn_epochs,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return GAP(graph, cfg, rng=seed)
+    if key == "dpar":
+        cfg = DPARConfig(
+            embedding_dim=settings.embedding_dim,
+            num_epochs=settings.gnn_epochs,
+            epsilon=epsilon,
+            delta=settings.delta,
+        )
+        return DPAR(graph, cfg, rng=seed)
+    raise KeyError(f"unknown private model {name!r}")
+
+
+def build_nonprivate_model(
+    name: str, graph: Graph, settings: ExperimentSettings, seed: int
+):
+    """Instantiate SGM(No DP) or AdvSGM(No DP) (untrained)."""
+    key = name.lower()
+    if key in ("sgm", "sgm(no dp)"):
+        cfg = SkipGramConfig(
+            embedding_dim=settings.embedding_dim,
+            num_negatives=settings.num_negatives,
+            batch_size=128,
+            learning_rate=settings.learning_rate,
+            num_epochs=settings.nodp_epochs,
+            batches_per_epoch=settings.discriminator_steps,
+        )
+        return SkipGramModel(graph, cfg, rng=seed)
+    if key in ("advsgm(no dp)", "advsgm-nodp"):
+        return AdversarialSkipGram(
+            graph, advsgm_config(settings, epsilon=1.0, dp_enabled=False, batch_size=128), rng=seed
+        )
+    raise KeyError(f"unknown non-private model {name!r}")
+
+
+def evaluate_link_prediction(
+    model_name: str,
+    dataset: str,
+    epsilon: float,
+    settings: ExperimentSettings,
+    repeat: int = 0,
+) -> Dict[str, float]:
+    """Train one private model and return its test AUC on ``dataset``."""
+    graph = load_experiment_graph(dataset, settings)
+    seed = settings.seed + 7919 * repeat
+    task = LinkPredictionTask(graph, test_fraction=settings.test_fraction, rng=seed)
+    model = build_private_model(model_name, task.train_graph, epsilon, settings, seed)
+    model.fit()
+    result = task.evaluate(model.score_edges)
+    return {"auc": result.auc, "epsilon": epsilon, "dataset": dataset, "model": model_name}
+
+
+def evaluate_node_clustering(
+    model_name: str,
+    dataset: str,
+    epsilon: float,
+    settings: ExperimentSettings,
+    repeat: int = 0,
+) -> Dict[str, float]:
+    """Train one private model and return clustering MI on ``dataset``."""
+    graph = load_experiment_graph(dataset, settings)
+    seed = settings.seed + 7919 * repeat
+    model = build_private_model(model_name, graph, epsilon, settings, seed)
+    model.fit()
+    clustering = NodeClusteringTask(graph)
+    result = clustering.evaluate(model.embeddings)
+    return {
+        "mi": result.mutual_information,
+        "nmi": result.normalized_mutual_information,
+        "epsilon": epsilon,
+        "dataset": dataset,
+        "model": model_name,
+    }
+
+
+def mean_and_std(values) -> tuple[float, float]:
+    """Mean and standard deviation of a sequence of floats."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values to aggregate")
+    return float(arr.mean()), float(arr.std())

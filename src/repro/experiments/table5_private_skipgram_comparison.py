@@ -1,0 +1,109 @@
+"""Table V — comparison between private skip-gram models.
+
+The paper reports link-prediction AUC (PPI, Facebook, Blog) and clustering MI
+(PPI, Blog) for SGM(No DP), AdvSGM(No DP), DP-SGM, DP-ASGM and AdvSGM at
+epsilon in {1..6}.  The key qualitative findings to reproduce:
+
+* AdvSGM(No DP) beats SGM(No DP) (the adversarial module helps utility);
+* AdvSGM beats DP-SGM and DP-ASGM at every budget;
+* AdvSGM improves as epsilon grows, approaching the non-private models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.evals.clustering import NodeClusteringTask
+from repro.evals.link_prediction import LinkPredictionTask
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runners import (
+    build_nonprivate_model,
+    build_private_model,
+    load_experiment_graph,
+)
+
+#: Datasets used for the AUC columns of Table V.
+AUC_DATASETS = ("ppi", "facebook", "blog")
+#: Datasets used for the MI columns of Table V.
+MI_DATASETS = ("ppi", "blog")
+#: Private skip-gram variants compared.
+PRIVATE_VARIANTS = ("DP-SGM", "DP-ASGM", "AdvSGM")
+#: Non-private reference rows.
+NONPRIVATE_VARIANTS = ("SGM(No DP)", "AdvSGM(No DP)")
+
+
+def _auc_for(model, task: LinkPredictionTask) -> float:
+    model.fit()
+    return task.evaluate(model.score_edges).auc
+
+
+def _mi_for(model, graph) -> float:
+    clustering = NodeClusteringTask(graph)
+    return clustering.evaluate(model.embeddings).mutual_information
+
+
+def run(
+    settings: ExperimentSettings | None = None,
+    epsilons: Iterable[float] | None = None,
+    auc_datasets=AUC_DATASETS,
+    mi_datasets=MI_DATASETS,
+) -> Dict[str, Dict[str, float]]:
+    """Return ``{row_label: {"auc/<ds>": value, "mi/<ds>": value}}``.
+
+    Row labels follow the paper: ``"SGM(No DP)"``, ``"AdvSGM(No DP)"`` and
+    ``"<model>(eps=<e>)"`` for the private variants.
+    """
+    settings = settings or ExperimentSettings.quick()
+    epsilons = tuple(epsilons) if epsilons is not None else settings.epsilons
+    rows: Dict[str, Dict[str, float]] = {}
+
+    # Non-private reference rows.
+    for variant in NONPRIVATE_VARIANTS:
+        row: Dict[str, float] = {}
+        for dataset in auc_datasets:
+            graph = load_experiment_graph(dataset, settings)
+            task = LinkPredictionTask(
+                graph, test_fraction=settings.test_fraction, rng=settings.seed
+            )
+            model = build_nonprivate_model(variant, task.train_graph, settings, settings.seed)
+            row[f"auc/{dataset}"] = _auc_for(model, task)
+        for dataset in mi_datasets:
+            graph = load_experiment_graph(dataset, settings)
+            model = build_nonprivate_model(variant, graph, settings, settings.seed)
+            model.fit()
+            row[f"mi/{dataset}"] = _mi_for(model, graph)
+        rows[variant] = row
+
+    # Private rows per epsilon.
+    for epsilon in epsilons:
+        for variant in PRIVATE_VARIANTS:
+            row = {}
+            for dataset in auc_datasets:
+                graph = load_experiment_graph(dataset, settings)
+                task = LinkPredictionTask(
+                    graph, test_fraction=settings.test_fraction, rng=settings.seed
+                )
+                model = build_private_model(
+                    variant, task.train_graph, epsilon, settings, settings.seed
+                )
+                row[f"auc/{dataset}"] = _auc_for(model, task)
+            for dataset in mi_datasets:
+                graph = load_experiment_graph(dataset, settings)
+                model = build_private_model(variant, graph, epsilon, settings, settings.seed)
+                model.fit()
+                row[f"mi/{dataset}"] = _mi_for(model, graph)
+            rows[f"{variant}(eps={epsilon:g})"] = row
+    return rows
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    """Render Table V as text."""
+    columns: List[str] = sorted({key for row in results.values() for key in row})
+    lines = ["Table V - AUC / MI of private skip-gram variants"]
+    lines.append(f"{'model':<22}" + "".join(f"{c:>16}" for c in columns))
+    for label, row in results.items():
+        cells = "".join(
+            f"{row.get(c, float('nan')):>16.4f}" for c in columns
+        )
+        lines.append(f"{label:<22}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Undirected graph container used throughout the library.
+
+The class stores the edge list, a CSR-like adjacency (offsets + neighbour
+array) for O(degree) neighbourhood queries, and optional node labels for the
+clustering experiments.  Nodes are integers ``0 .. num_nodes - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class Graph:
+    """Simple undirected graph with contiguous integer node ids.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0 .. num_nodes - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected (the paper
+        pre-processes all datasets to remove them) and duplicate edges are
+        collapsed.
+    labels:
+        Optional per-node integer class labels (used by node clustering).
+    name:
+        Optional human-readable dataset name.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        labels: Optional[Sequence[int]] = None,
+        name: str = "graph",
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.name = str(name)
+
+        seen: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(
+                    f"edge ({u}, {v}) references a node outside [0, {num_nodes})"
+                )
+            seen.add((min(u, v), max(u, v)))
+        self._edges = np.array(sorted(seen), dtype=np.int64).reshape(-1, 2)
+
+        if labels is not None:
+            labels_arr = np.asarray(labels, dtype=np.int64)
+            if labels_arr.shape != (num_nodes,):
+                raise ValueError(
+                    f"labels must have shape ({num_nodes},), got {labels_arr.shape}"
+                )
+            self.labels: Optional[np.ndarray] = labels_arr
+        else:
+            self.labels = None
+
+        self._build_adjacency()
+
+    def _build_adjacency(self) -> None:
+        """Build CSR offsets/neighbours and per-node degree arrays."""
+        degree = np.zeros(self.num_nodes, dtype=np.int64)
+        for u, v in self._edges:
+            degree[u] += 1
+            degree[v] += 1
+        offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(degree, out=offsets[1:])
+        neighbours = np.zeros(offsets[-1], dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for u, v in self._edges:
+            neighbours[cursor[u]] = v
+            cursor[u] += 1
+            neighbours[cursor[v]] = u
+            cursor[v] += 1
+        # Sort each neighbourhood so `has_edge` can use binary search.
+        for node in range(self.num_nodes):
+            lo, hi = offsets[node], offsets[node + 1]
+            neighbours[lo:hi].sort()
+        self._offsets = offsets
+        self._neighbours = neighbours
+        self._degree = degree
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected, deduplicated) edges."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(num_edges, 2)`` int64 array of edges with ``u < v``."""
+        return self._edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree array."""
+        return self._degree
+
+    def neighbours(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        lo, hi = self._offsets[node], self._offsets[node + 1]
+        return self._neighbours[lo:hi]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        return int(self._degree[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        if u == v:
+            return False
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            return False
+        neigh = self.neighbours(u)
+        idx = np.searchsorted(neigh, v)
+        return bool(idx < neigh.size and neigh[idx] == v)
+
+    # ------------------------------------------------------------------
+    # matrix views
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self, dtype=np.float64) -> np.ndarray:
+        """Dense symmetric adjacency matrix (only sensible for small graphs)."""
+        adj = np.zeros((self.num_nodes, self.num_nodes), dtype=dtype)
+        if self.num_edges:
+            u, v = self._edges[:, 0], self._edges[:, 1]
+            adj[u, v] = 1
+            adj[v, u] = 1
+        return adj
+
+    def normalized_adjacency(self, add_self_loops: bool = True) -> np.ndarray:
+        """Symmetrically normalised adjacency ``D^{-1/2} (A + I) D^{-1/2}``."""
+        adj = self.adjacency_matrix()
+        if add_self_loops:
+            adj = adj + np.eye(self.num_nodes)
+        deg = adj.sum(axis=1)
+        inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(deg), 0.0)
+        return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    # ------------------------------------------------------------------
+    # constructors / transforms
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_nodes: Optional[int] = None,
+        labels: Optional[Sequence[int]] = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph inferring ``num_nodes`` from the edge list if omitted."""
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if num_nodes is None:
+            if not edge_list:
+                raise ValueError("cannot infer num_nodes from an empty edge list")
+            num_nodes = max(max(u, v) for u, v in edge_list) + 1
+        return cls(num_nodes, edge_list, labels=labels, name=name)
+
+    def subgraph_with_edges(self, edges: np.ndarray, name: Optional[str] = None) -> "Graph":
+        """Return a graph over the same node set restricted to ``edges``.
+
+        Used by the link-prediction protocol: the training graph keeps all
+        nodes (so embeddings exist for every node) but only the training
+        edges.
+        """
+        return Graph(
+            self.num_nodes,
+            [(int(u), int(v)) for u, v in np.asarray(edges).reshape(-1, 2)],
+            labels=None if self.labels is None else self.labels.copy(),
+            name=name or f"{self.name}-sub",
+        )
+
+    def edge_set(self) -> Set[Tuple[int, int]]:
+        """Set of ``(min(u,v), max(u,v))`` tuples for membership queries."""
+        return {(int(u), int(v)) for u, v in self._edges}
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components via BFS (list of node-id lists)."""
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        components: List[List[int]] = []
+        for start in range(self.num_nodes):
+            if seen[start]:
+                continue
+            queue = [start]
+            seen[start] = True
+            comp = []
+            while queue:
+                node = queue.pop()
+                comp.append(node)
+                for nb in self.neighbours(node):
+                    if not seen[nb]:
+                        seen[nb] = True
+                        queue.append(int(nb))
+            components.append(sorted(comp))
+        return components
+
+    def label_counts(self) -> Dict[int, int]:
+        """Histogram of node labels (empty dict if the graph is unlabelled)."""
+        if self.labels is None:
+            return {}
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labelled = "labelled" if self.labels is not None else "unlabelled"
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, {labelled})"
+        )

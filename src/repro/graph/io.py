@@ -1,0 +1,118 @@
+"""Edge-list / label file IO.
+
+Simple whitespace-separated formats so generated datasets and embeddings can
+be exchanged with external tools:
+
+* edge list: one ``u v`` pair per line, ``#``-prefixed comments allowed;
+* label file: one ``node label`` pair per line;
+* embedding file: word2vec text format (``num_nodes dim`` header, then one
+  node id followed by its vector per line).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` edges as a whitespace-separated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edges:
+            handle.write(f"{int(u)} {int(v)}\n")
+
+
+def read_edge_list(
+    path: PathLike, num_nodes: Optional[int] = None, name: str = "graph"
+) -> Graph:
+    """Read an edge list written by :func:`write_edge_list` (or compatible)."""
+    path = Path(path)
+    edges = []
+    declared_nodes = num_nodes
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                # Honour the "nodes=N" hint in the header comment when present.
+                for token in line[1:].split():
+                    if token.startswith("nodes=") and declared_nodes is None:
+                        declared_nodes = int(token.split("=", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    return Graph.from_edge_list(edges, num_nodes=declared_nodes, name=name)
+
+
+def write_labels(graph: Graph, path: PathLike) -> None:
+    """Write node labels as ``node label`` lines.
+
+    Raises ``ValueError`` for unlabelled graphs.
+    """
+    if graph.labels is None:
+        raise ValueError("graph has no labels to write")
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for node, label in enumerate(graph.labels):
+            handle.write(f"{node} {int(label)}\n")
+
+
+def read_labels(path: PathLike, num_nodes: int) -> np.ndarray:
+    """Read a label file into an array of length ``num_nodes``."""
+    labels = np.full(num_nodes, -1, dtype=np.int64)
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            node_str, label_str = line.split()[:2]
+            node = int(node_str)
+            if not 0 <= node < num_nodes:
+                raise ValueError(f"node id {node} out of range")
+            labels[node] = int(label_str)
+    return labels
+
+
+def write_embeddings(embeddings: np.ndarray, path: PathLike) -> None:
+    """Write embeddings in word2vec text format."""
+    emb = np.asarray(embeddings, dtype=np.float64)
+    if emb.ndim != 2:
+        raise ValueError(f"embeddings must be 2-D, got shape {emb.shape}")
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"{emb.shape[0]} {emb.shape[1]}\n")
+        for node, row in enumerate(emb):
+            values = " ".join(f"{x:.6f}" for x in row)
+            handle.write(f"{node} {values}\n")
+
+
+def read_embeddings(path: PathLike) -> np.ndarray:
+    """Read embeddings written by :func:`write_embeddings`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().split()
+        if len(header) != 2:
+            raise ValueError("missing word2vec-style header line")
+        num_nodes, dim = int(header[0]), int(header[1])
+        emb = np.zeros((num_nodes, dim), dtype=np.float64)
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            node = int(parts[0])
+            if not 0 <= node < num_nodes:
+                raise ValueError(f"node id {node} out of range")
+            emb[node] = [float(x) for x in parts[1 : dim + 1]]
+    return emb

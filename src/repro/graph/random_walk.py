@@ -1,0 +1,110 @@
+"""Random-walk corpora for DeepWalk / node2vec style skip-gram training.
+
+AdvSGM itself trains from edge samples (LINE-style), but the paper's related
+models (DeepWalk, node2vec) and the example applications use walk corpora, so
+the substrate provides both uniform and biased (node2vec) walks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_walks(
+    graph: Graph,
+    num_walks: int,
+    walk_length: int,
+    rng: RngLike = None,
+) -> List[List[int]]:
+    """Uniform random walks: ``num_walks`` walks of ``walk_length`` per node."""
+    if num_walks <= 0 or walk_length <= 0:
+        raise ValueError("num_walks and walk_length must be positive")
+    rng = ensure_rng(rng)
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            current = int(start)
+            for _ in range(walk_length - 1):
+                neigh = graph.neighbours(current)
+                if neigh.size == 0:
+                    break
+                current = int(neigh[int(rng.integers(0, neigh.size))])
+                walk.append(current)
+            walks.append(walk)
+    return walks
+
+
+def node2vec_walks(
+    graph: Graph,
+    num_walks: int,
+    walk_length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: RngLike = None,
+) -> List[List[int]]:
+    """Second-order biased walks (node2vec).
+
+    ``p`` controls the return probability (likelihood of revisiting the
+    previous node) and ``q`` the in-out bias (BFS-like for q > 1, DFS-like for
+    q < 1).  ``p = q = 1`` reduces to uniform walks.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    if num_walks <= 0 or walk_length <= 0:
+        raise ValueError("num_walks and walk_length must be positive")
+    rng = ensure_rng(rng)
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            for _ in range(walk_length - 1):
+                current = walk[-1]
+                neigh = graph.neighbours(current)
+                if neigh.size == 0:
+                    break
+                if len(walk) == 1:
+                    nxt = int(neigh[int(rng.integers(0, neigh.size))])
+                else:
+                    prev = walk[-2]
+                    weights = np.empty(neigh.size)
+                    for i, candidate in enumerate(neigh):
+                        if candidate == prev:
+                            weights[i] = 1.0 / p
+                        elif graph.has_edge(int(candidate), prev):
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(rng.choice(neigh, p=weights))
+                walk.append(nxt)
+            walks.append(walk)
+    return walks
+
+
+def walks_to_pairs(
+    walks: List[List[int]], window_size: int = 5
+) -> np.ndarray:
+    """Convert walk corpora to (centre, context) skip-gram training pairs."""
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    pairs: List[tuple[int, int]] = []
+    for walk in walks:
+        for i, centre in enumerate(walk):
+            lo = max(0, i - window_size)
+            hi = min(len(walk), i + window_size + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((centre, walk[j]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.array(pairs, dtype=np.int64)

@@ -1,0 +1,111 @@
+"""Train/test edge splitting for the link-prediction protocol.
+
+The paper's protocol: 90% of edges form the training graph, 10% are held out
+as positive test links, an equal number of non-edges are sampled as negative
+test links, and (for training classifiers that need them) an equal number of
+non-edges are also sampled as negative training pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class EdgeSplit:
+    """Output of :func:`train_test_split_edges`.
+
+    Attributes
+    ----------
+    train_graph:
+        Graph over all original nodes containing only the training edges.
+    train_edges, test_edges:
+        Positive edge arrays, shape ``(n, 2)``.
+    train_negatives, test_negatives:
+        Sampled non-edges of the same cardinality as the corresponding
+        positive sets.
+    """
+
+    train_graph: Graph
+    train_edges: np.ndarray
+    test_edges: np.ndarray
+    train_negatives: np.ndarray
+    test_negatives: np.ndarray
+
+
+def _sample_non_edges(
+    graph: Graph, count: int, rng: np.random.Generator, forbidden: set
+) -> np.ndarray:
+    """Sample ``count`` distinct node pairs that are not edges of ``graph``."""
+    non_edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    max_attempts = 200 * count + 1000
+    attempts = 0
+    while len(non_edges) < count and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(0, graph.num_nodes))
+        v = int(rng.integers(0, graph.num_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen or key in forbidden:
+            continue
+        seen.add(key)
+        non_edges.append(key)
+    if len(non_edges) < count:
+        raise RuntimeError(
+            "could not sample enough non-edges; the graph may be too dense"
+        )
+    return np.array(non_edges, dtype=np.int64)
+
+
+def train_test_split_edges(
+    graph: Graph,
+    test_fraction: float = 0.1,
+    rng: RngLike = None,
+) -> EdgeSplit:
+    """Split ``graph`` into train/test edges plus sampled negative pairs.
+
+    Parameters
+    ----------
+    graph:
+        Original graph.
+    test_fraction:
+        Fraction of edges held out as positive test links (paper uses 0.1).
+    rng:
+        Seed or generator controlling the split.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    rng = ensure_rng(rng)
+    edges = graph.edges
+    num_edges = edges.shape[0]
+    num_test = max(1, int(round(num_edges * test_fraction)))
+    if num_test >= num_edges:
+        raise ValueError("test_fraction leaves no training edges")
+
+    perm = rng.permutation(num_edges)
+    test_idx = perm[:num_test]
+    train_idx = perm[num_test:]
+    test_edges = edges[test_idx]
+    train_edges = edges[train_idx]
+
+    forbidden = graph.edge_set()
+    test_negatives = _sample_non_edges(graph, num_test, rng, forbidden)
+    train_negatives = _sample_non_edges(
+        graph, train_edges.shape[0], rng, forbidden | {tuple(e) for e in map(tuple, test_negatives)}
+    )
+
+    train_graph = graph.subgraph_with_edges(train_edges, name=f"{graph.name}-train")
+    return EdgeSplit(
+        train_graph=train_graph,
+        train_edges=train_edges,
+        test_edges=test_edges,
+        train_negatives=train_negatives,
+        test_negatives=test_negatives,
+    )

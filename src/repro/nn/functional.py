@@ -1,0 +1,66 @@
+"""Numerically stable activation and loss primitives.
+
+These are the only non-linearities used by the skip-gram family models and
+the simplified GNN baselines.  Each function accepts scalars or arrays and
+always returns ``float64`` arrays (or a Python float for scalar input of the
+loss helpers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Sigmoid saturates numerically past |x| ~ 36 in float64; clipping the input
+# keeps exp() away from overflow without changing the value of the output.
+_SIGMOID_CLIP = 500.0
+_EPS = 1e-12
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, stable for large positive and negative inputs."""
+    x = np.clip(np.asarray(x, dtype=np.float64), -_SIGMOID_CLIP, _SIGMOID_CLIP)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``log(sigmoid(x))`` computed without intermediate underflow."""
+    x = np.asarray(x, dtype=np.float64)
+    # log sigma(x) = -softplus(-x) = min(x, 0) - log1p(exp(-|x|))
+    return np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (thin wrapper, for API symmetry)."""
+    return np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def binary_cross_entropy(probs: np.ndarray, targets: np.ndarray) -> float:
+    """Mean binary cross-entropy between predicted probabilities and targets.
+
+    Probabilities are clipped away from {0, 1} so that a confident wrong
+    prediction yields a large but finite loss.
+    """
+    p = np.clip(np.asarray(probs, dtype=np.float64), _EPS, 1.0 - _EPS)
+    t = np.asarray(targets, dtype=np.float64)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: probs {p.shape} vs targets {t.shape}")
+    losses = -(t * np.log(p) + (1.0 - t) * np.log(1.0 - p))
+    return float(np.mean(losses))

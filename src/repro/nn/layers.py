@@ -1,0 +1,121 @@
+"""Dense and graph-convolution layers for the GNN baselines (GAP, DPAR).
+
+The baselines only need forward passes plus gradients with respect to their
+own weights, so each layer caches its inputs during ``forward`` and exposes a
+``backward`` that returns the weight gradients and the gradient flowing to the
+previous layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.functional import relu
+from repro.nn.init import xavier_uniform
+from repro.utils.rng import RngLike
+
+
+class DenseLayer:
+    """Fully connected layer ``y = activation(x W + b)``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Optional[Callable[[np.ndarray], np.ndarray]] = relu,
+        rng: RngLike = None,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("in_dim and out_dim must be positive")
+        self.weight = xavier_uniform((in_dim, out_dim), rng=rng)
+        self.bias = np.zeros(out_dim)
+        self.activation = activation
+        self._input: Optional[np.ndarray] = None
+        self._pre_activation: Optional[np.ndarray] = None
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Expose parameters for optimizer updates."""
+        return {"weight": self.weight, "bias": self.bias}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output and cache intermediates for backward."""
+        x = np.asarray(x, dtype=np.float64)
+        self._input = x
+        z = x @ self.weight + self.bias
+        self._pre_activation = z
+        return self.activation(z) if self.activation is not None else z
+
+    def backward(self, grad_output: np.ndarray) -> Dict[str, np.ndarray]:
+        """Back-propagate ``grad_output`` through the layer.
+
+        Returns a dict with ``weight``/``bias`` gradients and ``input`` — the
+        gradient with respect to the layer input.
+        """
+        if self._input is None or self._pre_activation is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_output, dtype=np.float64)
+        if self.activation is relu:
+            grad = grad * (self._pre_activation > 0)
+        # For other activations callers are expected to fold the activation
+        # derivative into grad_output themselves (only relu/linear are used).
+        grad_weight = self._input.T @ grad
+        grad_bias = grad.sum(axis=0)
+        grad_input = grad @ self.weight.T
+        return {"weight": grad_weight, "bias": grad_bias, "input": grad_input}
+
+
+class GraphConvolution:
+    """A single GCN-style propagation ``H' = activation(A_hat H W)``.
+
+    ``A_hat`` is expected to be a (dense or sparse) normalised adjacency
+    matrix supplied by the caller at ``forward`` time, which keeps the layer
+    agnostic of how the baseline perturbs the aggregation (GAP adds Gaussian
+    noise to ``A_hat H`` before the weight multiplication).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Optional[Callable[[np.ndarray], np.ndarray]] = relu,
+        rng: RngLike = None,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("in_dim and out_dim must be positive")
+        self.weight = xavier_uniform((in_dim, out_dim), rng=rng)
+        self.activation = activation
+        self._aggregated: Optional[np.ndarray] = None
+        self._pre_activation: Optional[np.ndarray] = None
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Expose parameters for optimizer updates."""
+        return {"weight": self.weight}
+
+    def forward(
+        self, adj_norm: np.ndarray, features: np.ndarray, aggregated: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Propagate ``features`` over ``adj_norm``.
+
+        ``aggregated`` may be supplied directly (e.g. a noisy aggregation in
+        GAP); otherwise it is computed as ``adj_norm @ features``.
+        """
+        if aggregated is None:
+            aggregated = np.asarray(adj_norm) @ np.asarray(features, dtype=np.float64)
+        self._aggregated = np.asarray(aggregated, dtype=np.float64)
+        z = self._aggregated @ self.weight
+        self._pre_activation = z
+        return self.activation(z) if self.activation is not None else z
+
+    def backward(self, grad_output: np.ndarray) -> Dict[str, np.ndarray]:
+        """Return the gradient with respect to the layer weight."""
+        if self._aggregated is None or self._pre_activation is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_output, dtype=np.float64)
+        if self.activation is relu:
+            grad = grad * (self._pre_activation > 0)
+        grad_weight = self._aggregated.T @ grad
+        return {"weight": grad_weight}

@@ -1,0 +1,89 @@
+"""Gradient-descent optimizers.
+
+The trainers keep their parameters in plain dictionaries mapping a name to an
+ndarray; optimizers therefore update arrays in place given a matching
+dictionary of gradients.  ``SGD`` is what the paper's models use; ``Adam`` is
+provided for the GNN baselines (GAP / DPAR) which are conventionally trained
+with Adam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0) -> None:
+        check_positive(learning_rate, "learning_rate")
+        if momentum < 0 or momentum >= 1:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Apply one descent step in place.
+
+        Only parameters that have a gradient entry are touched, which lets the
+        sparse skip-gram updates (a handful of embedding rows per batch) reuse
+        the same interface as dense layers.
+        """
+        for name, grad in grads.items():
+            if name not in params:
+                raise KeyError(f"gradient provided for unknown parameter {name!r}")
+            if self.momentum > 0:
+                vel = self._velocity.get(name)
+                if vel is None or vel.shape != grad.shape:
+                    vel = np.zeros_like(grad)
+                vel = self.momentum * vel - self.learning_rate * grad
+                self._velocity[name] = vel
+                params[name] += vel
+            else:
+                params[name] -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        check_positive(learning_rate, "learning_rate")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Apply one Adam update in place."""
+        self._t += 1
+        for name, grad in grads.items():
+            if name not in params:
+                raise KeyError(f"gradient provided for unknown parameter {name!r}")
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None or m.shape != grad.shape:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

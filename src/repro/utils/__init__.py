@@ -1,0 +1,21 @@
+"""Shared utilities: seeded random number generation, validation helpers and
+lightweight structured logging used across the library."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_array_2d,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_array_2d",
+]

@@ -1,0 +1,43 @@
+"""Lightweight training-history logging.
+
+The trainers in this library record per-epoch scalars (losses, privacy spent,
+etc.) into a :class:`TrainingHistory` so examples and benchmarks can inspect
+training without a heavyweight logging dependency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TrainingHistory:
+    """Append-only store of named scalar series recorded during training."""
+
+    series: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to the series called ``name``."""
+        self.series[name].append(float(value))
+
+    def last(self, name: str) -> float:
+        """Return the most recent value of ``name``.
+
+        Raises ``KeyError`` if nothing has been recorded under that name.
+        """
+        values = self.series.get(name)
+        if not values:
+            raise KeyError(f"no values recorded for series {name!r}")
+        return values[-1]
+
+    def get(self, name: str) -> List[float]:
+        """Return the full series for ``name`` (empty list if absent)."""
+        return list(self.series.get(name, []))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series and bool(self.series[name])
+
+    def __len__(self) -> int:
+        return len(self.series)

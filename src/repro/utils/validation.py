@@ -1,0 +1,48 @@
+"""Argument-validation helpers shared across the library.
+
+All helpers raise ``ValueError`` (or ``TypeError`` for shape problems) with a
+message that names the offending parameter, so configuration mistakes surface
+at construction time rather than as NaNs deep inside training loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and finite, and return it."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    if not np.isfinite(value) or value < low or value > high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_array_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is a 2-D ndarray of finite floats."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise TypeError(f"{name} must be a 2-D array, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

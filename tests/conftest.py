@@ -1,0 +1,50 @@
+"""Shared pytest fixtures: small deterministic graphs and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdvSGMConfig
+from repro.graph.generators import labelled_powerlaw_community_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A small unlabelled clustered power-law graph (120 nodes)."""
+    return powerlaw_cluster_graph(120, attachment=4, triangle_prob=0.4, rng=7, name="small")
+
+
+@pytest.fixture(scope="session")
+def labelled_graph() -> Graph:
+    """A labelled community graph (150 nodes, 4 communities)."""
+    return labelled_powerlaw_community_graph(
+        150, num_communities=4, attachment=4, intra_prob=0.85, rng=11, name="labelled"
+    )
+
+
+@pytest.fixture()
+def triangle_graph() -> Graph:
+    """A 4-node graph with a triangle plus a pendant edge."""
+    return Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)], name="triangle")
+
+
+@pytest.fixture()
+def tiny_config() -> AdvSGMConfig:
+    """An AdvSGM configuration small enough for per-test training."""
+    return AdvSGMConfig(
+        embedding_dim=16,
+        num_negatives=3,
+        batch_size=8,
+        num_epochs=2,
+        discriminator_steps=3,
+        generator_steps=2,
+        epsilon=6.0,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Seeded generator for per-test randomness."""
+    return np.random.default_rng(1234)

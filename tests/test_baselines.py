@@ -1,0 +1,170 @@
+"""Tests for the private baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DPAR,
+    DPARConfig,
+    DPASGM,
+    DPASGMConfig,
+    DPGGAN,
+    DPGGANConfig,
+    DPGVAE,
+    DPGVAEConfig,
+    DPSGM,
+    DPSGMConfig,
+    GAP,
+    GAPConfig,
+)
+
+
+SHORT = dict(num_epochs=2, batches_per_epoch=3, batch_size=16, embedding_dim=16)
+
+
+class TestDPSGM:
+    def test_fit_and_interfaces(self, small_graph):
+        model = DPSGM(small_graph, DPSGMConfig(**SHORT), rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert model.score_edges(np.array([[0, 1]])).shape == (1,)
+        assert model.privacy_spent().epsilon > 0
+
+    def test_budget_stop(self, small_graph):
+        cfg = DPSGMConfig(
+            num_epochs=50, batches_per_epoch=10, batch_size=32, embedding_dim=16, epsilon=1.0
+        )
+        model = DPSGM(small_graph, cfg, rng=0).fit()
+        assert model.stopped_early
+
+    def test_noise_destroys_structure(self, small_graph):
+        """DPSGD at sigma=5 with B*C sensitivity should stay near AUC 0.5."""
+        from repro.evals.link_prediction import LinkPredictionTask
+
+        task = LinkPredictionTask(small_graph, rng=0)
+        cfg = DPSGMConfig(
+            num_epochs=10, batches_per_epoch=10, batch_size=16, embedding_dim=32, epsilon=6.0
+        )
+        model = DPSGM(task.train_graph, cfg, rng=0).fit()
+        auc = task.evaluate(model.score_edges).auc
+        assert 0.35 < auc < 0.65
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DPSGMConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DPSGMConfig(noise_multiplier=0.0)
+
+
+class TestDPASGM:
+    def test_fit_and_interfaces(self, small_graph):
+        cfg = DPASGMConfig(**SHORT, generator_steps=2)
+        model = DPASGM(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert model.privacy_spent().epsilon > 0
+
+    def test_adversarial_weight_validation(self):
+        with pytest.raises(ValueError):
+            DPASGMConfig(adversarial_weight=0.0)
+        with pytest.raises(ValueError):
+            DPASGMConfig(generator_steps=0)
+
+    def test_gradients_stay_clipped(self, small_graph):
+        cfg = DPASGMConfig(**SHORT)
+        model = DPASGM(small_graph, cfg, rng=0)
+        sampler_batch = model.sampler.sample()
+        grad_in, grad_out = model._pair_gradients(sampler_batch.positive_edges, True)
+        assert np.all(np.linalg.norm(grad_in, axis=1) <= cfg.clip_norm + 1e-9)
+        assert np.all(np.linalg.norm(grad_out, axis=1) <= cfg.clip_norm + 1e-9)
+
+
+class TestDPGGAN:
+    def test_fit_and_interfaces(self, small_graph):
+        cfg = DPGGANConfig(embedding_dim=16, batch_size=16, num_epochs=2, batches_per_epoch=3)
+        model = DPGGAN(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert model.score_edges(np.array([[0, 1], [1, 2]])).shape == (2,)
+
+    def test_budget_stop(self, small_graph):
+        cfg = DPGGANConfig(
+            embedding_dim=16, batch_size=32, num_epochs=100, batches_per_epoch=10, epsilon=1.0
+        )
+        model = DPGGAN(small_graph, cfg, rng=0).fit()
+        assert model.stopped_early
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DPGGANConfig(epsilon=0.0)
+
+
+class TestDPGVAE:
+    def test_fit_and_interfaces(self, labelled_graph):
+        cfg = DPGVAEConfig(
+            feature_dim=16, embedding_dim=16, batch_size=16, num_epochs=2, batches_per_epoch=3
+        )
+        model = DPGVAE(labelled_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (labelled_graph.num_nodes, 16)
+        assert np.all(np.isfinite(model.embeddings))
+
+    def test_aggregation_is_perturbed(self, small_graph):
+        cfg = DPGVAEConfig(feature_dim=16, embedding_dim=16, num_epochs=1, batches_per_epoch=1)
+        model = DPGVAE(small_graph, cfg, rng=0)
+        clean = model._adj_norm @ model.features
+        assert not np.allclose(model._aggregated, clean)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DPGVAEConfig(kl_weight=0.0)
+
+
+class TestGAP:
+    def test_fit_and_interfaces(self, small_graph):
+        cfg = GAPConfig(feature_dim=16, embedding_dim=16, num_epochs=2)
+        model = GAP(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert model.privacy_spent().epsilon <= cfg.epsilon + 0.05
+
+    def test_embeddings_require_fit(self, small_graph):
+        model = GAP(small_graph, GAPConfig(feature_dim=8, embedding_dim=8), rng=0)
+        with pytest.raises(RuntimeError):
+            _ = model.embeddings
+
+    def test_noise_decreases_with_budget(self, small_graph):
+        loose = GAP(small_graph, GAPConfig(epsilon=6.0), rng=0)
+        tight = GAP(small_graph, GAPConfig(epsilon=1.0), rng=0)
+        assert loose.accountant.noise_multiplier < tight.accountant.noise_multiplier
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAPConfig(num_hops=0)
+
+
+class TestDPAR:
+    def test_fit_and_interfaces(self, small_graph):
+        cfg = DPARConfig(feature_dim=16, embedding_dim=16, num_epochs=2)
+        model = DPAR(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert np.all(np.isfinite(model.embeddings))
+
+    def test_embeddings_require_fit(self, small_graph):
+        model = DPAR(small_graph, DPARConfig(feature_dim=8, embedding_dim=8), rng=0)
+        with pytest.raises(RuntimeError):
+            _ = model.embeddings
+
+    def test_degree_clipped_adjacency_row_stochastic(self, small_graph):
+        model = DPAR(small_graph, DPARConfig(feature_dim=8, embedding_dim=8), rng=0)
+        transition = model._degree_clipped_adjacency()
+        row_sums = transition.sum(axis=1)
+        positive_rows = row_sums > 0
+        assert np.allclose(row_sums[positive_rows], 1.0)
+
+    def test_budget_consumed_by_propagation(self, small_graph):
+        cfg = DPARConfig(feature_dim=8, embedding_dim=8, num_epochs=1, epsilon=4.0)
+        model = DPAR(small_graph, cfg, rng=0).fit()
+        assert model.privacy_spent().epsilon <= cfg.epsilon + 0.05
+        assert model.accountant.steps == cfg.propagation_steps
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DPARConfig(teleport=1.5)
+        with pytest.raises(ValueError):
+            DPARConfig(propagation_steps=0)

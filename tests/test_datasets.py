@@ -1,0 +1,63 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DatasetSpec, get_spec, list_datasets, load_dataset
+
+
+class TestRegistry:
+    def test_all_six_datasets_registered(self):
+        names = list_datasets()
+        assert names == sorted(["ppi", "facebook", "wiki", "blog", "epinions", "dblp"])
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("PPI").name == "ppi"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("imaginary")
+
+    def test_specs_record_paper_sizes(self):
+        spec = get_spec("ppi")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.paper_nodes == 3890
+        assert spec.paper_edges == 76584
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["ppi", "facebook", "wiki", "blog", "epinions", "dblp"])
+    def test_load_small_scale(self, name):
+        g = load_dataset(name, scale=0.1, seed=1)
+        assert g.num_nodes >= 64
+        assert g.num_edges > g.num_nodes  # denser than a tree
+        assert g.name == name
+
+    def test_labelled_datasets_have_labels(self):
+        for name in ("ppi", "wiki", "blog"):
+            g = load_dataset(name, scale=0.1, seed=1)
+            assert g.labels is not None
+
+    def test_unlabelled_datasets_have_no_labels(self):
+        for name in ("facebook", "epinions", "dblp"):
+            g = load_dataset(name, scale=0.1, seed=1)
+            assert g.labels is None
+
+    def test_deterministic_default_seed(self):
+        g1 = load_dataset("ppi", scale=0.1)
+        g2 = load_dataset("ppi", scale=0.1)
+        assert np.array_equal(g1.edges, g2.edges)
+
+    def test_seed_changes_graph(self):
+        g1 = load_dataset("ppi", scale=0.1, seed=1)
+        g2 = load_dataset("ppi", scale=0.1, seed=2)
+        assert not np.array_equal(g1.edges, g2.edges)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("facebook", scale=0.1, seed=1)
+        large = load_dataset("facebook", scale=0.3, seed=1)
+        assert large.num_nodes > small.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("ppi", scale=0.0)

@@ -1,0 +1,153 @@
+"""Tests for the non-private embedding models."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.deepwalk import DeepWalk, DeepWalkConfig
+from repro.embedding.node2vec import Node2Vec, Node2VecConfig
+from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+from repro.embedding.adversarial import AdversarialSkipGram
+from repro.core.config import AdvSGMConfig
+from repro.evals.link_prediction import LinkPredictionTask
+from repro.graph.random_walk import node2vec_walks, random_walks, walks_to_pairs
+
+
+class TestSkipGramModel:
+    def test_embedding_shapes(self, small_graph):
+        cfg = SkipGramConfig(embedding_dim=16, num_epochs=1, batches_per_epoch=2, batch_size=8)
+        model = SkipGramModel(small_graph, cfg, rng=0)
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert model.w_out.shape == (small_graph.num_nodes, 16)
+
+    def test_training_reduces_loss(self, small_graph):
+        cfg = SkipGramConfig(
+            embedding_dim=32, num_epochs=20, batches_per_epoch=10, batch_size=32
+        )
+        model = SkipGramModel(small_graph, cfg, rng=0).fit()
+        losses = model.history.get("loss")
+        assert len(losses) == 20
+        assert losses[-1] < losses[0]
+
+    def test_learns_structure_better_than_random(self, small_graph):
+        task = LinkPredictionTask(small_graph, rng=0)
+        cfg = SkipGramConfig(
+            embedding_dim=32, num_epochs=30, batches_per_epoch=10, batch_size=32
+        )
+        model = SkipGramModel(task.train_graph, cfg, rng=0).fit()
+        assert task.evaluate(model.score_edges).auc > 0.6
+
+    def test_score_edges_shape(self, small_graph):
+        cfg = SkipGramConfig(embedding_dim=8, num_epochs=1, batches_per_epoch=1, batch_size=4)
+        model = SkipGramModel(small_graph, cfg, rng=0)
+        pairs = np.array([[0, 1], [2, 3]])
+        assert model.score_edges(pairs).shape == (2,)
+
+    def test_normalization_keeps_rows_in_unit_ball(self, small_graph):
+        cfg = SkipGramConfig(
+            embedding_dim=16, num_epochs=5, batches_per_epoch=5, batch_size=16,
+            learning_rate=0.3,
+        )
+        model = SkipGramModel(small_graph, cfg, rng=0).fit()
+        assert np.all(np.linalg.norm(model.w_in, axis=1) <= 1.0 + 1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            SkipGramConfig(learning_rate=-1.0)
+
+    def test_reproducible(self, small_graph):
+        cfg = SkipGramConfig(embedding_dim=8, num_epochs=2, batches_per_epoch=3, batch_size=8)
+        m1 = SkipGramModel(small_graph, cfg, rng=9).fit()
+        m2 = SkipGramModel(small_graph, cfg, rng=9).fit()
+        assert np.allclose(m1.embeddings, m2.embeddings)
+
+
+class TestRandomWalks:
+    def test_walk_counts_and_lengths(self, small_graph):
+        walks = random_walks(small_graph, num_walks=2, walk_length=5, rng=0)
+        assert len(walks) == 2 * small_graph.num_nodes
+        assert all(1 <= len(w) <= 5 for w in walks)
+
+    def test_walk_steps_follow_edges(self, small_graph):
+        walks = random_walks(small_graph, num_walks=1, walk_length=6, rng=0)
+        for walk in walks[:50]:
+            for a, b in zip(walk, walk[1:]):
+                assert small_graph.has_edge(a, b)
+
+    def test_node2vec_walks_follow_edges(self, small_graph):
+        walks = node2vec_walks(small_graph, num_walks=1, walk_length=5, p=0.5, q=2.0, rng=0)
+        for walk in walks[:50]:
+            for a, b in zip(walk, walk[1:]):
+                assert small_graph.has_edge(a, b)
+
+    def test_node2vec_parameter_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            node2vec_walks(small_graph, 1, 5, p=0.0)
+
+    def test_walks_to_pairs_window(self):
+        pairs = walks_to_pairs([[0, 1, 2]], window_size=1)
+        as_set = {tuple(p) for p in pairs.tolist()}
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_walks_to_pairs_empty(self):
+        assert walks_to_pairs([[5]], window_size=2).shape == (0, 2)
+
+
+class TestDeepWalkAndNode2Vec:
+    def test_deepwalk_trains(self, small_graph):
+        cfg = DeepWalkConfig(
+            embedding_dim=16, num_walks=2, walk_length=8, window_size=2,
+            num_epochs=2, batch_size=256,
+        )
+        model = DeepWalk(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+        assert len(model.history.get("loss")) == 2
+
+    def test_deepwalk_better_than_random(self, small_graph):
+        task = LinkPredictionTask(small_graph, rng=0)
+        cfg = DeepWalkConfig(
+            embedding_dim=32, num_walks=6, walk_length=12, window_size=3, num_epochs=5
+        )
+        model = DeepWalk(task.train_graph, cfg, rng=0).fit()
+        assert task.evaluate(model.score_edges).auc > 0.52
+
+    def test_node2vec_trains(self, small_graph):
+        cfg = Node2VecConfig(
+            embedding_dim=16, num_walks=1, walk_length=6, window_size=2,
+            num_epochs=1, p=0.5, q=2.0,
+        )
+        model = Node2Vec(small_graph, cfg, rng=0).fit()
+        assert model.embeddings.shape == (small_graph.num_nodes, 16)
+
+    def test_node2vec_config_validation(self):
+        with pytest.raises(ValueError):
+            Node2VecConfig(p=-1.0)
+
+
+class TestAdversarialSkipGram:
+    def test_wrapper_disables_privacy(self, small_graph, tiny_config):
+        model = AdversarialSkipGram(small_graph, tiny_config, rng=0)
+        assert model.config.dp_enabled is False
+
+    def test_fit_returns_self_and_embeddings(self, small_graph, tiny_config):
+        model = AdversarialSkipGram(small_graph, tiny_config, rng=0)
+        assert model.fit() is model
+        assert model.embeddings.shape == (small_graph.num_nodes, tiny_config.embedding_dim)
+
+    def test_score_edges(self, small_graph, tiny_config):
+        model = AdversarialSkipGram(small_graph, tiny_config, rng=0).fit()
+        pairs = np.array([[0, 1], [1, 2], [3, 4]])
+        assert model.score_edges(pairs).shape == (3,)
+
+    def test_adversarial_beats_plain_on_small_budget(self, small_graph):
+        """With an identical (short) schedule the adversarial model should be
+        at least competitive with the plain skip-gram (Table V's claim)."""
+        task = LinkPredictionTask(small_graph, rng=1)
+        adv_cfg = AdvSGMConfig(
+            embedding_dim=32, batch_size=32, num_epochs=15,
+            discriminator_steps=10, generator_steps=3, dp_enabled=False,
+        )
+        adv = AdversarialSkipGram(task.train_graph, adv_cfg, rng=1).fit()
+        adv_auc = task.evaluate(adv.score_edges).auc
+        assert adv_auc > 0.55

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdvSGM,
+    AdvSGMConfig,
+    AdversarialSkipGram,
+    Graph,
+    LinkPredictionTask,
+    NodeClusteringTask,
+    SkipGramModel,
+    load_dataset,
+)
+from repro.embedding.skipgram import SkipGramConfig
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestEndToEndLinkPrediction:
+    def test_full_pipeline_private(self):
+        graph = load_dataset("facebook", scale=0.2, seed=3)
+        task = LinkPredictionTask(graph, rng=3)
+        config = AdvSGMConfig(
+            embedding_dim=32,
+            batch_size=8,
+            num_epochs=20,
+            discriminator_steps=10,
+            generator_steps=2,
+            epsilon=6.0,
+        )
+        model = AdvSGM(task.train_graph, config, rng=3).fit()
+        result = task.evaluate(model.score_edges)
+        assert 0.0 <= result.auc <= 1.0
+        spent = model.privacy_spent()
+        assert spent.epsilon <= config.epsilon + 1.5  # one trailing step of slack
+
+    def test_private_vs_nonprivate_utility_gap(self):
+        """The non-private AdvSGM must beat the epsilon=1 private AdvSGM."""
+        graph = load_dataset("ppi", scale=0.3, seed=5)
+        task = LinkPredictionTask(graph, rng=5)
+        base = dict(
+            embedding_dim=32,
+            batch_size=16,
+            num_epochs=25,
+            discriminator_steps=10,
+            generator_steps=3,
+        )
+        nodp = AdvSGM(
+            task.train_graph, AdvSGMConfig(dp_enabled=False, **base), rng=5
+        ).fit()
+        dp = AdvSGM(
+            task.train_graph, AdvSGMConfig(epsilon=1.0, **base), rng=5
+        ).fit()
+        auc_nodp = task.evaluate(nodp.score_edges).auc
+        auc_dp = task.evaluate(dp.score_edges).auc
+        assert auc_nodp > auc_dp
+        assert auc_nodp > 0.6
+
+    def test_skipgram_and_advsgm_share_evaluation_protocol(self):
+        graph = load_dataset("wiki", scale=0.2, seed=7)
+        task = LinkPredictionTask(graph, rng=7)
+        sgm = SkipGramModel(
+            task.train_graph,
+            SkipGramConfig(embedding_dim=32, num_epochs=10, batches_per_epoch=10, batch_size=32),
+            rng=7,
+        ).fit()
+        adv = AdversarialSkipGram(
+            task.train_graph,
+            AdvSGMConfig(
+                embedding_dim=32, batch_size=32, num_epochs=10,
+                discriminator_steps=10, generator_steps=2, dp_enabled=False,
+            ),
+            rng=7,
+        ).fit()
+        auc_sgm = task.evaluate(sgm.score_edges).auc
+        auc_adv = task.evaluate(adv.score_edges).auc
+        assert auc_sgm > 0.55
+        assert auc_adv > 0.55
+
+
+class TestEndToEndClustering:
+    def test_clustering_pipeline(self):
+        graph = load_dataset("ppi", scale=0.2, seed=9)
+        config = AdvSGMConfig(
+            embedding_dim=32, batch_size=16, num_epochs=10,
+            discriminator_steps=5, generator_steps=2, dp_enabled=False,
+        )
+        model = AdvSGM(graph, config, rng=9).fit()
+        task = NodeClusteringTask(graph, max_iterations=80)
+        result = task.evaluate(model.embeddings)
+        assert result.mutual_information >= 0.0
+        assert result.num_clusters >= 1
+
+
+class TestPrivacySemantics:
+    def test_embeddings_differ_between_neighbouring_graphs(self):
+        """Removing one node's edges changes the output (sanity, not a proof)."""
+        base = load_dataset("facebook", scale=0.15, seed=11)
+        edges = [tuple(e) for e in base.edges.tolist()]
+        target = int(np.argmax(base.degrees))
+        reduced_edges = [e for e in edges if target not in e]
+        neighbour = Graph(base.num_nodes, reduced_edges, name="neighbour")
+        cfg = AdvSGMConfig(
+            embedding_dim=16, batch_size=8, num_epochs=3,
+            discriminator_steps=3, generator_steps=1, epsilon=6.0,
+        )
+        emb_a = AdvSGM(base, cfg, rng=13).fit().embeddings
+        emb_b = AdvSGM(neighbour, cfg, rng=13).fit().embeddings
+        assert emb_a.shape == emb_b.shape
+        assert not np.allclose(emb_a, emb_b)
+
+    def test_budget_binds_training_length_monotonically(self):
+        graph = load_dataset("blog", scale=0.15, seed=17)
+        steps = []
+        for eps in (1.0, 3.0, 6.0):
+            cfg = AdvSGMConfig(
+                embedding_dim=16, batch_size=8, num_epochs=40,
+                discriminator_steps=10, generator_steps=1, epsilon=eps,
+            )
+            model = AdvSGM(graph, cfg, rng=19).fit()
+            steps.append(model.accountant.steps)
+        assert steps[0] < steps[1] < steps[2]

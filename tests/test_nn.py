@@ -1,0 +1,234 @@
+"""Tests for the NumPy neural-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn.constrained_sigmoid import ConstrainedSigmoid, exponential_clip
+from repro.nn.functional import (
+    binary_cross_entropy,
+    log_sigmoid,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.init import normal_init, uniform_embedding, xavier_uniform
+from repro.nn.layers import DenseLayer, GraphConvolution
+from repro.nn.optim import SGD, Adam
+
+
+class TestFunctional:
+    def test_sigmoid_basic_values(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+        assert sigmoid(np.array(100.0)) == pytest.approx(1.0)
+        assert sigmoid(np.array(-100.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sigmoid_no_overflow(self):
+        values = sigmoid(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(values))
+
+    def test_log_sigmoid_matches_log_of_sigmoid(self):
+        x = np.linspace(-20, 20, 41)
+        assert np.allclose(log_sigmoid(x), np.log(sigmoid(x)), atol=1e-10)
+
+    def test_log_sigmoid_stable_for_large_negative(self):
+        assert np.isfinite(log_sigmoid(np.array(-1000.0)))
+
+    def test_softmax_sums_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 7))
+        s = softmax(x, axis=1)
+        assert np.allclose(s.sum(axis=1), 1.0)
+        assert np.all(s >= 0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_relu_and_tanh(self):
+        assert np.array_equal(relu(np.array([-1.0, 2.0])), np.array([0.0, 2.0]))
+        assert tanh(np.array(0.0)) == pytest.approx(0.0)
+
+    def test_bce_perfect_and_worst(self):
+        assert binary_cross_entropy(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-9
+        bad = binary_cross_entropy(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert bad > 10
+
+    def test_bce_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy(np.zeros(3), np.zeros(4))
+
+
+class TestExponentialClip:
+    def test_values_near_bounds(self):
+        out = exponential_clip(np.array([0.5, 150.0]), 1.0, 100.0)
+        assert out[0] >= 1.0 - 1e-6
+        assert out[1] <= 100.0 + 1e-6
+
+    def test_interior_values_approximately_identity(self):
+        out = exponential_clip(np.array([50.0]), 1.0, 100.0)
+        assert out[0] == pytest.approx(50.0, rel=0.2)
+
+    def test_one_sided_clipping(self):
+        lower_only = exponential_clip(np.array([-5.0]), 0.0, None)
+        assert lower_only[0] >= 0.0
+        upper_only = exponential_clip(np.array([500.0]), None, 10.0)
+        assert upper_only[0] <= 10.0 + 1e-9
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            exponential_clip(np.array([1.0]), 5.0, 1.0)
+
+
+class TestConstrainedSigmoid:
+    def test_output_range(self):
+        s = ConstrainedSigmoid(a=1e-5, b=120.0)
+        x = np.linspace(-100, 100, 201)
+        values = s(x)
+        lo, hi = s.output_range
+        assert np.all(values >= lo - 1e-9)
+        assert np.all(values <= hi + 1e-9)
+
+    def test_monotone_nondecreasing(self):
+        s = ConstrainedSigmoid(a=1e-5, b=120.0)
+        x = np.linspace(-30, 30, 301)
+        values = s(x)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_inverse_weight_bounds(self):
+        s = ConstrainedSigmoid(a=1e-5, b=120.0)
+        x = np.linspace(-50, 50, 101)
+        weights = s.inverse_weight(x)
+        assert np.all(weights >= 1.0 + 1e-5 - 1e-9)
+        assert np.all(weights <= 1.0 + 120.0 + 1e-6)
+
+    def test_matches_sigmoid_in_midrange(self):
+        s = ConstrainedSigmoid(a=1e-5, b=120.0)
+        x = np.array([-1.0, 0.0, 1.0])
+        assert np.allclose(s(x), sigmoid(x), atol=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConstrainedSigmoid(a=0.0, b=1.0)
+        with pytest.raises(ValueError):
+            ConstrainedSigmoid(a=2.0, b=1.0)
+
+
+class TestInit:
+    def test_xavier_range(self):
+        w = xavier_uniform((50, 100), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (50, 100)
+
+    def test_xavier_requires_2d(self):
+        with pytest.raises(ValueError):
+            xavier_uniform((10,))
+
+    def test_uniform_embedding_scale(self):
+        emb = uniform_embedding(20, 64, rng=0)
+        assert np.all(np.abs(emb) <= 0.5 / 64)
+
+    def test_uniform_embedding_validation(self):
+        with pytest.raises(ValueError):
+            uniform_embedding(0, 4)
+
+    def test_normal_init_std(self):
+        w = normal_init((2000,), std=0.5, rng=0)
+        assert np.std(w) == pytest.approx(0.5, rel=0.1)
+        with pytest.raises(ValueError):
+            normal_init((3,), std=0.0)
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        params = {"w": np.array([1.0, 1.0])}
+        SGD(learning_rate=0.5).step(params, {"w": np.array([1.0, -1.0])})
+        assert np.allclose(params["w"], [0.5, 1.5])
+
+    def test_sgd_momentum_accumulates(self):
+        params = {"w": np.zeros(1)}
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        for _ in range(3):
+            opt.step(params, {"w": np.ones(1)})
+        # With momentum the total displacement exceeds 3 * lr.
+        assert params["w"][0] < -0.3
+
+    def test_sgd_unknown_param(self):
+        with pytest.raises(KeyError):
+            SGD().step({"a": np.zeros(1)}, {"b": np.zeros(1)})
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_adam_reduces_quadratic(self):
+        params = {"w": np.array([5.0])}
+        opt = Adam(learning_rate=0.2)
+        for _ in range(200):
+            grad = {"w": 2 * params["w"]}
+            opt.step(params, grad)
+        assert abs(params["w"][0]) < 0.5
+
+    def test_adam_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestLayers:
+    def test_dense_forward_shape(self, rng):
+        layer = DenseLayer(8, 4, rng=0)
+        out = layer.forward(rng.normal(size=(10, 8)))
+        assert out.shape == (10, 4)
+        assert np.all(out >= 0)  # relu output
+
+    def test_dense_backward_shapes(self, rng):
+        layer = DenseLayer(8, 4, rng=0)
+        x = rng.normal(size=(10, 8))
+        out = layer.forward(x)
+        grads = layer.backward(np.ones_like(out))
+        assert grads["weight"].shape == (8, 4)
+        assert grads["bias"].shape == (4,)
+        assert grads["input"].shape == (10, 8)
+
+    def test_dense_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            DenseLayer(3, 3).backward(np.ones((1, 3)))
+
+    def test_dense_linear_gradient_check(self, rng):
+        layer = DenseLayer(5, 3, activation=None, rng=0)
+        x = rng.normal(size=(7, 5))
+        out = layer.forward(x)
+        loss_grad = rng.normal(size=out.shape)
+        grads = layer.backward(loss_grad)
+        # Finite-difference check on one weight entry.
+        eps = 1e-6
+        loss = lambda: float(np.sum(layer.forward(x) * loss_grad))
+        base = loss()
+        layer.weight[0, 0] += eps
+        numeric = (loss() - base) / eps
+        layer.weight[0, 0] -= eps
+        assert numeric == pytest.approx(grads["weight"][0, 0], rel=1e-3)
+
+    def test_gcn_forward_and_backward(self, triangle_graph, rng):
+        layer = GraphConvolution(6, 3, rng=0)
+        adj = triangle_graph.normalized_adjacency()
+        feats = rng.normal(size=(4, 6))
+        out = layer.forward(adj, feats)
+        assert out.shape == (4, 3)
+        grads = layer.backward(np.ones_like(out))
+        assert grads["weight"].shape == (6, 3)
+
+    def test_gcn_accepts_precomputed_aggregation(self, triangle_graph, rng):
+        layer = GraphConvolution(6, 3, rng=0)
+        feats = rng.normal(size=(4, 6))
+        agg = triangle_graph.normalized_adjacency() @ feats
+        out = layer.forward(None, feats, aggregated=agg)
+        assert out.shape == (4, 3)
+
+    def test_invalid_layer_dims(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 3)
+        with pytest.raises(ValueError):
+            GraphConvolution(3, 0)
