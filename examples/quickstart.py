@@ -16,6 +16,7 @@ from repro import (
     AdvSGMConfig,
     LinkPredictionTask,
     NodeClusteringTask,
+    ProgressCallback,
     load_dataset,
 )
 
@@ -43,8 +44,11 @@ def main() -> None:
     )
 
     # 4. Train.  Training stops automatically once the RDP accountant says the
-    #    next update would exceed the (epsilon, delta) budget.
-    model = AdvSGM(task.train_graph, config, rng=42).fit()
+    #    next update would exceed the (epsilon, delta) budget; the callback
+    #    (any repro.train.Callback) prints progress every 20 epochs.
+    model = AdvSGM(task.train_graph, config, rng=42).fit(
+        callbacks=[ProgressCallback(print_every=20)]
+    )
     spent = model.privacy_spent()
     print(
         f"training done: {model.accountant.steps} gradient steps, "

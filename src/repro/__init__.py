@@ -23,6 +23,9 @@ contribution:
 ``repro.core``
     AdvSGM itself (Algorithm 3): discriminator with optimizable noise terms,
     generator, weight tuning lambda = 1/S(.) and RDP-accounted training.
+``repro.train``
+    Unified training loop (epoch/step scheduling, callbacks) plus the
+    single shared privacy-budget early stop used by every DP trainer.
 ``repro.baselines``
     Private baselines: DP-SGM, DP-ASGM, DPGGAN, DPGVAE, GAP and DPAR.
 ``repro.evals``
@@ -37,11 +40,19 @@ from repro.core.config import AdvSGMConfig
 from repro.embedding.skipgram import SkipGramModel
 from repro.embedding.adversarial import AdversarialSkipGram
 from repro.graph.graph import Graph
+from repro.graph.walk_engine import WalkEngine
 from repro.graph.datasets import load_dataset, list_datasets
 from repro.evals.link_prediction import LinkPredictionTask
 from repro.evals.clustering import NodeClusteringTask
+from repro.train import (
+    Callback,
+    PrivacyBudget,
+    ProgressCallback,
+    Trainer,
+    TrainingLoop,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdvSGM",
@@ -49,9 +60,15 @@ __all__ = [
     "SkipGramModel",
     "AdversarialSkipGram",
     "Graph",
+    "WalkEngine",
     "load_dataset",
     "list_datasets",
     "LinkPredictionTask",
     "NodeClusteringTask",
+    "Callback",
+    "PrivacyBudget",
+    "ProgressCallback",
+    "Trainer",
+    "TrainingLoop",
     "__version__",
 ]

@@ -27,10 +27,9 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.graph.splits import train_test_split_edges
-from repro.nn.functional import sigmoid
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import RdpAccountant
+from repro.train import fit_link_prediction_head
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_in_range, check_positive, check_probability
@@ -170,37 +169,21 @@ class DPAR:
 
     # ------------------------------------------------------------------
     def fit(self) -> "DPAR":
-        """Privatise the propagation once, then train the projection head."""
+        """Privatise the propagation once, then train the projection head.
+
+        The head is the shared ``repro.train`` link-prediction projection
+        (post-processing of the already-private features).
+        """
         cfg = self.config
         self._private_features = self._privatised_features()
-        split = train_test_split_edges(self.graph, test_fraction=0.1, rng=self._train_rng)
-        pos = split.train_edges
-        neg = split.train_negatives
-        pairs = np.vstack([pos, neg])
-        labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
-        for _ in range(cfg.num_epochs):
-            order = self._train_rng.permutation(pairs.shape[0])
-            epoch_loss = 0.0
-            for start in range(0, pairs.shape[0], cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                batch_pairs = pairs[idx]
-                batch_labels = labels[idx]
-                emb = self.embeddings
-                zi = emb[batch_pairs[:, 0]]
-                zj = emb[batch_pairs[:, 1]]
-                probs = sigmoid(np.einsum("ij,ij->i", zi, zj))
-                residual = (probs - batch_labels)[:, None]
-                feats_i = self._private_features[batch_pairs[:, 0]]
-                feats_j = self._private_features[batch_pairs[:, 1]]
-                grad_weight = (
-                    feats_i.T @ (residual * zj) + feats_j.T @ (residual * zi)
-                ) / batch_pairs.shape[0]
-                self.weight -= cfg.learning_rate * grad_weight
-                epoch_loss += float(
-                    np.mean(
-                        -(batch_labels * np.log(probs + 1e-12)
-                          + (1 - batch_labels) * np.log(1 - probs + 1e-12))
-                    )
-                )
-            self.history.record("loss", epoch_loss)
+        fit_link_prediction_head(
+            graph=self.graph,
+            features=self._private_features,
+            weight=self.weight,
+            num_epochs=cfg.num_epochs,
+            batch_size=cfg.batch_size,
+            learning_rate=cfg.learning_rate,
+            history=self.history,
+            rng=self._train_rng,
+        )
         return self

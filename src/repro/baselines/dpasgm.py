@@ -83,35 +83,19 @@ class DPASGM(DPSGM):
             clip_rows_by_l2_norm(grad_out, cfg.clip_norm),
         )
 
-    def fit(self) -> "DPASGM":
-        """Alternate DPSGD discriminator epochs with generator updates."""
+    def _on_epoch_end(self, epoch: int, losses) -> None:
+        """Generator updates between DPSGD epochs (post-processing), then log.
+
+        Inherits the discriminator batch schedule and budget stop from
+        :meth:`DPSGM.fit` via the shared training loop.
+        """
         cfg: DPASGMConfig = self.config  # type: ignore[assignment]
-        for _ in range(cfg.num_epochs):
-            for _ in range(cfg.batches_per_epoch):
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                batch = self.sampler.sample()
-                self._dpsgd_update(
-                    batch.positive_edges,
-                    positive=True,
-                    rate=self.sampler.edge_sampling_probability,
-                )
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                self._dpsgd_update(
-                    batch.negative_pairs,
-                    positive=False,
-                    rate=self.sampler.node_sampling_probability,
-                )
-            for _ in range(cfg.generator_steps):
-                batch = self.sampler.sample()
-                pairs = batch.positive_edges
-                self.generators.train_step(
-                    self.w_in[pairs[:, 0]],
-                    self.w_out[pairs[:, 1]],
-                    learning_rate=cfg.generator_learning_rate,
-                )
-            self.history.record("epsilon_spent", self.privacy_spent().epsilon)
-        return self
+        for _ in range(cfg.generator_steps):
+            batch = self.sampler.sample()
+            pairs = batch.positive_edges
+            self.generators.train_step(
+                self.w_in[pairs[:, 0]],
+                self.w_out[pairs[:, 1]],
+                learning_rate=cfg.generator_learning_rate,
+            )
+        super()._on_epoch_end(epoch, losses)

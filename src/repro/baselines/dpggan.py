@@ -28,6 +28,7 @@ from repro.nn.functional import sigmoid
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
 from repro.privacy.clipping import clip_rows_by_l2_norm
+from repro.train import PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive, check_probability
@@ -81,6 +82,9 @@ class DPGGAN:
             graph, batch_size=self.config.batch_size, num_negatives=1, rng=sample_rng
         )
         self.accountant = RdpAccountant(self.config.noise_multiplier)
+        self.budget = PrivacyBudget(
+            self.accountant, self.config.epsilon, self.config.delta
+        )
         self.history = TrainingHistory()
         self.stopped_early = False
 
@@ -104,11 +108,6 @@ class DPGGAN:
     def _generate_fake(self, count: int) -> np.ndarray:
         noise = self._gen_rng.normal(0.0, 1.0, size=(count, self.config.embedding_dim))
         return np.tanh(noise @ self.generator_weight)
-
-    def _budget_exhausted(self) -> bool:
-        return (
-            self.accountant.get_delta_spent(self.config.epsilon) >= self.config.delta
-        )
 
     def _discriminator_step(self) -> None:
         """DPSGD update of the latent vectors on real vs fake pairs."""
@@ -155,14 +154,20 @@ class DPGGAN:
         grad_weight = noise.T @ grad_pre / count
         self.generator_weight += cfg.generator_learning_rate * grad_weight
 
-    def fit(self) -> "DPGGAN":
+    def fit(self, callbacks=()) -> "DPGGAN":
         """Alternate DPSGD discriminator updates with generator updates."""
-        for _ in range(self.config.num_epochs):
-            for _ in range(self.config.batches_per_epoch):
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                self._discriminator_step()
+
+        def epoch_end(epoch: int, losses) -> None:
             self._generator_step()
             self.history.record("epsilon_spent", self.privacy_spent().epsilon)
+
+        loop = TrainingLoop(
+            self.config.num_epochs,
+            self.config.batches_per_epoch,
+            budget=self.budget,
+            callbacks=callbacks,
+        )
+        self.stopped_early = loop.run(
+            lambda epoch, step: self._discriminator_step(), epoch_end
+        ).stopped_early
         return self

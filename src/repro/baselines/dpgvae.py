@@ -24,6 +24,7 @@ from repro.nn.functional import sigmoid
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
 from repro.privacy.clipping import clip_by_l2_norm
+from repro.train import PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive, check_probability
@@ -106,6 +107,7 @@ class DPGVAE:
             graph, batch_size=cfg.batch_size, num_negatives=1, rng=sample_rng
         )
         self.accountant = RdpAccountant(cfg.noise_multiplier)
+        self.budget = PrivacyBudget(self.accountant, cfg.epsilon, cfg.delta)
         self.history = TrainingHistory()
         self.stopped_early = False
 
@@ -126,11 +128,6 @@ class DPGVAE:
         return np.einsum("ij,ij->i", emb[pairs[:, 0]], emb[pairs[:, 1]])
 
     # ------------------------------------------------------------------
-    def _budget_exhausted(self) -> bool:
-        return (
-            self.accountant.get_delta_spent(self.config.epsilon) >= self.config.delta
-        )
-
     def _train_step(self) -> None:
         """One DPSGD update of the encoder mean weight."""
         cfg = self.config
@@ -159,13 +156,18 @@ class DPGVAE:
         self.weight_mu -= cfg.learning_rate * (clipped + noise / pairs.shape[0])
         self.accountant.step(self.sampler.edge_sampling_probability)
 
-    def fit(self) -> "DPGVAE":
+    def fit(self, callbacks=()) -> "DPGVAE":
         """Train until the schedule ends or the privacy budget is exhausted."""
-        for _ in range(self.config.num_epochs):
-            for _ in range(self.config.batches_per_epoch):
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                self._train_step()
-            self.history.record("epsilon_spent", self.privacy_spent().epsilon)
+        loop = TrainingLoop(
+            self.config.num_epochs,
+            self.config.batches_per_epoch,
+            budget=self.budget,
+            callbacks=callbacks,
+        )
+        self.stopped_early = loop.run(
+            lambda epoch, step: self._train_step(),
+            lambda epoch, losses: self.history.record(
+                "epsilon_spent", self.privacy_spent().epsilon
+            ),
+        ).stopped_early
         return self

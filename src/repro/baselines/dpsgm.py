@@ -22,6 +22,7 @@ from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
 from repro.privacy.clipping import clip_rows_by_l2_norm
+from repro.train import BudgetExhausted, PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive, check_probability
@@ -82,6 +83,9 @@ class DPSGM:
             rng=sample_rng,
         )
         self.accountant = RdpAccountant(self.config.noise_multiplier)
+        self.budget = PrivacyBudget(
+            self.accountant, self.config.epsilon, self.config.delta
+        )
         self.history = TrainingHistory()
         self.stopped_early = False
 
@@ -129,31 +133,39 @@ class DPSGM:
         np.add.at(self.w_out, pairs[:, 1], update_out)
         self.accountant.step(rate)
 
-    def _budget_exhausted(self) -> bool:
-        return (
-            self.accountant.get_delta_spent(self.config.epsilon) >= self.config.delta
+    def _train_batch(self, epoch: int, step: int) -> None:
+        """One DPSGD batch: positive then negative sub-batch updates."""
+        batch = self.sampler.sample()
+        self._dpsgd_update(
+            batch.positive_edges,
+            positive=True,
+            rate=self.sampler.edge_sampling_probability,
+        )
+        if self.budget.exhausted():
+            raise BudgetExhausted
+        self._dpsgd_update(
+            batch.negative_pairs,
+            positive=False,
+            rate=self.sampler.node_sampling_probability,
         )
 
-    def fit(self) -> "DPSGM":
-        """Train until the epoch schedule ends or the budget is exhausted."""
-        for _ in range(self.config.num_epochs):
-            for _ in range(self.config.batches_per_epoch):
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                batch = self.sampler.sample()
-                self._dpsgd_update(
-                    batch.positive_edges,
-                    positive=True,
-                    rate=self.sampler.edge_sampling_probability,
-                )
-                if self._budget_exhausted():
-                    self.stopped_early = True
-                    return self
-                self._dpsgd_update(
-                    batch.negative_pairs,
-                    positive=False,
-                    rate=self.sampler.node_sampling_probability,
-                )
-            self.history.record("epsilon_spent", self.privacy_spent().epsilon)
+    def _on_epoch_end(self, epoch: int, losses) -> None:
+        """End-of-epoch hook (overridden by DP-ASGM to add generator steps)."""
+        self.history.record("epsilon_spent", self.privacy_spent().epsilon)
+
+    def fit(self, callbacks=()) -> "DPSGM":
+        """Train until the epoch schedule ends or the budget is exhausted.
+
+        The shared loop polls the budget before every batch; a mid-batch
+        exhaustion (between the positive and negative sub-batches) aborts via
+        :class:`BudgetExhausted`, skipping the epoch-end hook exactly like the
+        original hand-rolled loop did.
+        """
+        loop = TrainingLoop(
+            self.config.num_epochs,
+            self.config.batches_per_epoch,
+            budget=self.budget,
+            callbacks=callbacks,
+        )
+        self.stopped_early = loop.run(self._train_batch, self._on_epoch_end).stopped_early
         return self

@@ -31,6 +31,7 @@ from repro.core.generator import GeneratorPair
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
+from repro.train import BudgetExhausted, PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 
@@ -91,6 +92,11 @@ class AdvSGM:
             if self.config.dp_enabled
             else None
         )
+        self.budget = (
+            PrivacyBudget(self.accountant, self.config.epsilon, self.config.delta)
+            if self.accountant is not None
+            else None
+        )
         self.history = TrainingHistory()
         self.stopped_early = False
         self._fitted = False
@@ -119,11 +125,8 @@ class AdvSGM:
     # training
     # ------------------------------------------------------------------
     def _budget_exhausted(self) -> bool:
-        """Line 10-11 of Algorithm 3: stop when delta-hat >= delta."""
-        if self.accountant is None:
-            return False
-        delta_hat = self.accountant.get_delta_spent(self.config.epsilon)
-        return delta_hat >= self.config.delta
+        """Line 10-11 of Algorithm 3 (delegated to the shared PrivacyBudget)."""
+        return self.budget is not None and self.budget.exhausted()
 
     def _discriminator_substep(self, pairs: np.ndarray, positive: bool, rate: float) -> None:
         """One Theorem-6 update on a positive or negative sub-batch."""
@@ -165,22 +168,24 @@ class AdvSGM:
             real_vi, real_vj, learning_rate=self.config.learning_rate_g
         )
 
-    def fit(self) -> "AdvSGM":
-        """Run Algorithm 3 and return ``self``.
+    def fit(self, callbacks=()) -> "AdvSGM":
+        """Run Algorithm 3 through the shared training loop and return ``self``.
 
-        Calling ``fit`` twice raises to avoid silently double-spending the
-        privacy budget.
+        Each loop step is one discriminator iteration; the generator phase is
+        post-processing (free under DP), so it runs in the epoch-end hook even
+        for the epoch in which the budget ran out
+        (``finish_epoch_on_stop=True``).  Calling ``fit`` twice raises to
+        avoid silently double-spending the privacy budget.
         """
         if self._fitted:
             raise RuntimeError("fit() may only be called once per AdvSGM instance")
         self._fitted = True
-        for epoch in range(self.config.num_epochs):
-            keep_going = True
-            for _ in range(self.config.discriminator_steps):
-                keep_going = self._train_discriminator_iteration()
-                if not keep_going:
-                    self.stopped_early = True
-                    break
+
+        def step(epoch: int, step_idx: int) -> None:
+            if not self._train_discriminator_iteration():
+                raise BudgetExhausted
+
+        def epoch_end(epoch: int, losses) -> None:
             gen_loss = 0.0
             for _ in range(self.config.generator_steps):
                 gen_loss += self._train_generator_iteration()
@@ -188,6 +193,12 @@ class AdvSGM:
             spent = self.privacy_spent()
             if spent is not None:
                 self.history.record("epsilon_spent", spent.epsilon)
-            if not keep_going:
-                break
+
+        loop = TrainingLoop(
+            self.config.num_epochs,
+            self.config.discriminator_steps,
+            finish_epoch_on_stop=True,
+            callbacks=callbacks,
+        )
+        self.stopped_early = loop.run(step, epoch_end).stopped_early
         return self

@@ -44,9 +44,14 @@ class AdversarialSkipGram:
         """Training history of the underlying AdvSGM trainer."""
         return self._model.history
 
-    def fit(self) -> "AdversarialSkipGram":
-        """Train the model and return ``self``."""
-        self._model.fit()
+    @property
+    def stopped_early(self) -> bool:
+        """Always ``False`` — without DP there is no budget to exhaust."""
+        return self._model.stopped_early
+
+    def fit(self, callbacks=()) -> "AdversarialSkipGram":
+        """Train the model (through the shared loop) and return ``self``."""
+        self._model.fit(callbacks=callbacks)
         return self
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:

@@ -14,9 +14,10 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.graph.random_walk import random_walks, walks_to_pairs
+from repro.graph.random_walk import walks_to_pairs
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
+from repro.train import TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
@@ -66,13 +67,11 @@ class DeepWalk:
         return self.w_in
 
     def _generate_pairs(self) -> np.ndarray:
-        walks = random_walks(
-            self.graph,
-            num_walks=self.config.num_walks,
-            walk_length=self.config.walk_length,
-            rng=self._walk_rng,
+        """Walk corpus straight from the vectorized engine (matrix form)."""
+        corpus = self.graph.walk_engine().walk_corpus(
+            self.config.num_walks, self.config.walk_length, rng=self._walk_rng
         )
-        return walks_to_pairs(walks, window_size=self.config.window_size)
+        return walks_to_pairs(corpus, window_size=self.config.window_size)
 
     def _train_on_pairs(self, pairs: np.ndarray) -> float:
         """One pass of mini-batch skip-gram updates over ``pairs``."""
@@ -116,14 +115,16 @@ class DeepWalk:
             num_batches += 1
         return total_loss / max(1, num_batches)
 
-    def fit(self) -> "DeepWalk":
+    def fit(self, callbacks=()) -> "DeepWalk":
         """Generate walks and train for the configured number of epochs."""
         pairs = self._generate_pairs()
         if pairs.shape[0] == 0:
             raise RuntimeError("random walks produced no training pairs")
-        for _ in range(self.config.num_epochs):
-            loss = self._train_on_pairs(pairs)
-            self.history.record("loss", loss)
+        loop = TrainingLoop(self.config.num_epochs, 1, callbacks=callbacks)
+        loop.run(
+            lambda epoch, step: self._train_on_pairs(pairs),
+            lambda epoch, losses: self.history.record("loss", losses[0]),
+        )
         return self
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.embedding.deepwalk import DeepWalk, DeepWalkConfig
 from repro.graph.graph import Graph
-from repro.graph.random_walk import node2vec_walks, walks_to_pairs
+from repro.graph.random_walk import walks_to_pairs
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
@@ -47,12 +47,7 @@ class Node2Vec(DeepWalk):
 
     def _generate_pairs(self) -> np.ndarray:
         cfg: Node2VecConfig = self.config  # type: ignore[assignment]
-        walks = node2vec_walks(
-            self.graph,
-            num_walks=cfg.num_walks,
-            walk_length=cfg.walk_length,
-            p=cfg.p,
-            q=cfg.q,
-            rng=self._walk_rng,
+        corpus = self.graph.walk_engine().walk_corpus(
+            cfg.num_walks, cfg.walk_length, p=cfg.p, q=cfg.q, rng=self._walk_rng
         )
-        return walks_to_pairs(walks, window_size=cfg.window_size)
+        return walks_to_pairs(corpus, window_size=cfg.window_size)

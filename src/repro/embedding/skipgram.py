@@ -24,6 +24,7 @@ from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler, SampleBatch
 from repro.nn.functional import log_sigmoid, sigmoid
 from repro.nn.init import uniform_embedding
+from repro.train import TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
@@ -168,13 +169,16 @@ class SkipGramModel:
             self._normalize()
         return loss
 
-    def fit(self) -> "SkipGramModel":
-        """Run the full training schedule and return ``self``."""
-        for epoch in range(self.config.num_epochs):
-            epoch_loss = 0.0
-            for _ in range(self.config.batches_per_epoch):
-                epoch_loss += self.train_step()
-            self.history.record("loss", epoch_loss / self.config.batches_per_epoch)
+    def fit(self, callbacks=()) -> "SkipGramModel":
+        """Run the full schedule through the shared loop and return ``self``."""
+        loop = TrainingLoop(
+            self.config.num_epochs, self.config.batches_per_epoch, callbacks=callbacks
+        )
+
+        def epoch_end(epoch: int, losses) -> None:
+            self.history.record("loss", sum(losses) / self.config.batches_per_epoch)
+
+        loop.run(lambda epoch, step: self.train_step(), epoch_end)
         return self
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:

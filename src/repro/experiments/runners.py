@@ -29,6 +29,7 @@ from repro.evals.link_prediction import LinkPredictionTask
 from repro.experiments.config import ExperimentSettings
 from repro.graph.datasets import load_dataset
 from repro.graph.graph import Graph
+from repro.train import Trainer
 
 #: Private models compared in Fig. 3 / Fig. 4 of the paper.
 PRIVATE_MODEL_NAMES = ("DPGGAN", "DPGVAE", "GAP", "DPAR", "AdvSGM")
@@ -72,8 +73,12 @@ def build_private_model(
     epsilon: float,
     settings: ExperimentSettings,
     seed: int,
-):
-    """Instantiate one of the compared private models by name (untrained)."""
+) -> Trainer:
+    """Instantiate one of the compared private models by name (untrained).
+
+    Every returned model satisfies the :class:`repro.train.Trainer` protocol
+    and runs its schedule through the shared ``repro.train`` loop.
+    """
     key = name.lower()
     if key == "advsgm":
         return AdvSGM(graph, advsgm_config(settings, epsilon), rng=seed)
@@ -146,7 +151,7 @@ def build_private_model(
 
 def build_nonprivate_model(
     name: str, graph: Graph, settings: ExperimentSettings, seed: int
-):
+) -> Trainer:
     """Instantiate SGM(No DP) or AdvSGM(No DP) (untrained)."""
     key = name.lower()
     if key in ("sgm", "sgm(no dp)"):

@@ -9,7 +9,8 @@ from repro.graph.generators import (
 )
 from repro.graph.sampling import EdgeSampler, SampleBatch
 from repro.graph.splits import train_test_split_edges, EdgeSplit
-from repro.graph.random_walk import random_walks, node2vec_walks
+from repro.graph.random_walk import random_walks, node2vec_walks, walks_to_pairs
+from repro.graph.walk_engine import WalkEngine
 from repro.graph.io import write_edge_list, read_edge_list
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "EdgeSplit",
     "random_walks",
     "node2vec_walks",
+    "walks_to_pairs",
+    "WalkEngine",
     "write_edge_list",
     "read_edge_list",
 ]

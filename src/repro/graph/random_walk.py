@@ -3,16 +3,32 @@
 AdvSGM itself trains from edge samples (LINE-style), but the paper's related
 models (DeepWalk, node2vec) and the example applications use walk corpora, so
 the substrate provides both uniform and biased (node2vec) walks.
+
+The public functions keep their original list-of-lists signatures but are now
+thin wrappers around the frontier-batched :class:`repro.graph.walk_engine.WalkEngine`,
+which advances all walks one step at a time with vectorized neighbour
+indexing.  ``walks_to_pairs`` is vectorized with stride tricks (a
+``sliding_window_view`` over full-length walks, an index grid for ragged
+corpora); it emits exactly the same multiset of (centre, context) pairs as
+the original nested loops, but the emission *order* is an implementation
+detail — downstream trainers shuffle pairs before batching anyway.
 """
 
 from __future__ import annotations
 
-from typing import List
+from itertools import chain
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
+
+WalkCorpus = Union[np.ndarray, Sequence[Sequence[int]]]
+
+#: Walk rows processed per chunk in ``walks_to_pairs`` — bounds the peak size
+#: of the (rows, walk_length, 2 * window) index grid to a few hundred MB.
+_PAIR_CHUNK_ROWS = 16384
 
 
 def random_walks(
@@ -24,22 +40,9 @@ def random_walks(
     """Uniform random walks: ``num_walks`` walks of ``walk_length`` per node."""
     if num_walks <= 0 or walk_length <= 0:
         raise ValueError("num_walks and walk_length must be positive")
-    rng = ensure_rng(rng)
-    walks: List[List[int]] = []
-    nodes = np.arange(graph.num_nodes)
-    for _ in range(num_walks):
-        rng.shuffle(nodes)
-        for start in nodes:
-            walk = [int(start)]
-            current = int(start)
-            for _ in range(walk_length - 1):
-                neigh = graph.neighbours(current)
-                if neigh.size == 0:
-                    break
-                current = int(neigh[int(rng.integers(0, neigh.size))])
-                walk.append(current)
-            walks.append(walk)
-    return walks
+    return matrix_to_walks(
+        graph.walk_engine().walk_corpus(num_walks, walk_length, rng=rng)
+    )
 
 
 def node2vec_walks(
@@ -60,51 +63,116 @@ def node2vec_walks(
         raise ValueError("p and q must be positive")
     if num_walks <= 0 or walk_length <= 0:
         raise ValueError("num_walks and walk_length must be positive")
-    rng = ensure_rng(rng)
-    walks: List[List[int]] = []
-    nodes = np.arange(graph.num_nodes)
-    for _ in range(num_walks):
-        rng.shuffle(nodes)
-        for start in nodes:
-            walk = [int(start)]
-            for _ in range(walk_length - 1):
-                current = walk[-1]
-                neigh = graph.neighbours(current)
-                if neigh.size == 0:
-                    break
-                if len(walk) == 1:
-                    nxt = int(neigh[int(rng.integers(0, neigh.size))])
-                else:
-                    prev = walk[-2]
-                    weights = np.empty(neigh.size)
-                    for i, candidate in enumerate(neigh):
-                        if candidate == prev:
-                            weights[i] = 1.0 / p
-                        elif graph.has_edge(int(candidate), prev):
-                            weights[i] = 1.0
-                        else:
-                            weights[i] = 1.0 / q
-                    weights /= weights.sum()
-                    nxt = int(rng.choice(neigh, p=weights))
-                walk.append(nxt)
-            walks.append(walk)
-    return walks
+    return matrix_to_walks(
+        graph.walk_engine().walk_corpus(num_walks, walk_length, p=p, q=q, rng=rng)
+    )
 
 
-def walks_to_pairs(
-    walks: List[List[int]], window_size: int = 5
+def matrix_to_walks(matrix: np.ndarray) -> List[List[int]]:
+    """Convert a ``-1``-padded walk matrix to the list-of-lists corpus form."""
+    valid = matrix >= 0
+    lengths = np.where(valid.all(axis=1), matrix.shape[1], np.argmin(valid, axis=1))
+    return [row[:n].tolist() for row, n in zip(matrix, lengths)]
+
+
+def _pad_walks(walks: Sequence[Sequence[int]]) -> np.ndarray:
+    """Pack variable-length walks into a ``-1``-padded int64 matrix."""
+    num_walks = len(walks)
+    if num_walks == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    lengths = np.fromiter((len(w) for w in walks), dtype=np.int64, count=num_walks)
+    total = int(lengths.sum())
+    max_len = int(lengths.max())
+    matrix = np.full((num_walks, max_len), -1, dtype=np.int64)
+    if total:
+        flat = np.fromiter(chain.from_iterable(walks), dtype=np.int64, count=total)
+        rows = np.repeat(np.arange(num_walks), lengths)
+        starts = np.zeros(num_walks, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        cols = np.arange(total) - np.repeat(starts, lengths)
+        matrix[rows, cols] = flat
+    return matrix
+
+
+def _pairs_from_ragged_matrix(
+    matrix: np.ndarray,
+    window_size: int,
+    centre_lo: int = 0,
+    centre_hi: int | None = None,
 ) -> np.ndarray:
-    """Convert walk corpora to (centre, context) skip-gram training pairs."""
+    """Index-grid pair extraction handling ``-1`` padding (ragged corpora).
+
+    Only centres with column index in ``[centre_lo, centre_hi)`` are emitted,
+    which lets the full-matrix fast path reuse this routine for its boundary
+    columns.
+    """
+    length = matrix.shape[1]
+    if centre_hi is None:
+        centre_hi = length
+    deltas = np.concatenate(
+        [np.arange(-window_size, 0), np.arange(1, window_size + 1)]
+    )
+    context_idx = np.arange(centre_lo, centre_hi)[:, None] + deltas[None, :]
+    in_range = (context_idx >= 0) & (context_idx < length)
+    contexts = matrix[:, np.where(in_range, context_idx, 0)]
+    centres = np.broadcast_to(matrix[:, centre_lo:centre_hi, None], contexts.shape)
+    valid = in_range[None, :, :] & (centres >= 0) & (contexts >= 0)
+    return np.column_stack([centres[valid], contexts[valid]])
+
+
+def _pairs_from_full_matrix(matrix: np.ndarray, window_size: int) -> np.ndarray:
+    """Stride-tricks pair extraction for matrices without ``-1`` padding.
+
+    Interior centres (those with a complete window on both sides) are read
+    through a zero-copy ``sliding_window_view`` and written straight into a
+    contiguous (centre, context) block; the up-to-``2 * window_size`` boundary
+    centres go through the index-grid path on a narrow slice.
+    """
+    rows, length = matrix.shape
+    w = min(window_size, length - 1)
+    interior = length - 2 * w
+    if interior <= 0:
+        return _pairs_from_ragged_matrix(matrix, window_size)
+    windows = np.lib.stride_tricks.sliding_window_view(matrix, 2 * w + 1, axis=1)
+    block = np.empty((rows, interior, 2 * w, 2), dtype=np.int64)
+    block[..., 0] = windows[:, :, w, None]
+    block[:, :, :w, 1] = windows[:, :, :w]
+    block[:, :, w:, 1] = windows[:, :, w + 1 :]
+    pieces = [block.reshape(-1, 2)]
+    if w:
+        # Left boundary: centres 0..w-1 only reach contexts < 2w; right
+        # boundary mirrors it.  Both slices are exactly wide enough.
+        pieces.append(
+            _pairs_from_ragged_matrix(matrix[:, : 2 * w], w, centre_lo=0, centre_hi=w)
+        )
+        pieces.append(
+            _pairs_from_ragged_matrix(matrix[:, -2 * w :], w, centre_lo=w, centre_hi=2 * w)
+        )
+    return np.concatenate(pieces, axis=0)
+
+
+def walks_to_pairs(walks: WalkCorpus, window_size: int = 5) -> np.ndarray:
+    """Convert walk corpora to (centre, context) skip-gram training pairs.
+
+    Accepts either the list-of-lists corpus produced by :func:`random_walks`
+    or a ``-1``-padded walk matrix straight from the
+    :class:`~repro.graph.walk_engine.WalkEngine`.
+    """
     if window_size <= 0:
         raise ValueError(f"window_size must be positive, got {window_size}")
-    pairs: List[tuple[int, int]] = []
-    for walk in walks:
-        for i, centre in enumerate(walk):
-            lo = max(0, i - window_size)
-            hi = min(len(walk), i + window_size + 1)
-            for j in range(lo, hi):
-                if j != i:
-                    pairs.append((centre, walk[j]))
-    if not pairs:
+    if isinstance(walks, np.ndarray):
+        matrix = walks.astype(np.int64, copy=False)
+        if matrix.ndim != 2:
+            raise ValueError(f"walk matrix must be 2-D, got shape {matrix.shape}")
+    else:
+        matrix = _pad_walks(walks)
+    if matrix.size == 0 or matrix.shape[1] < 2:
         return np.zeros((0, 2), dtype=np.int64)
-    return np.array(pairs, dtype=np.int64)
+    chunks = []
+    for start in range(0, matrix.shape[0], _PAIR_CHUNK_ROWS):
+        chunk = matrix[start : start + _PAIR_CHUNK_ROWS]
+        if chunk.min() >= 0:
+            chunks.append(_pairs_from_full_matrix(chunk, window_size))
+        else:
+            chunks.append(_pairs_from_ragged_matrix(chunk, window_size))
+    return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]

@@ -1,0 +1,179 @@
+"""Loop-based reference implementations of the graph kernels.
+
+These are the original (pre-vectorization) Python-loop implementations of
+edge dedup, CSR construction, connected components, random walks and
+skip-gram pair extraction.  They are kept verbatim for two purposes:
+
+* **parity tests** — ``tests/test_graph_kernels.py`` asserts that the
+  vectorized kernels in :mod:`repro.graph.graph`, :mod:`repro.graph.walk_engine`
+  and :mod:`repro.graph.random_walk` produce identical outputs on random
+  graphs;
+* **benchmarks** — ``benchmarks/bench_graph_kernels.py`` times them against
+  the vectorized kernels and records the speedup in
+  ``BENCH_graph_kernels.json``.
+
+Nothing in the library's hot paths should import from this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def reference_dedup_edges(
+    num_nodes: int, edges: Iterable[Tuple[int, int]]
+) -> np.ndarray:
+    """Legacy per-edge dedup/validation loop from ``Graph.__init__``."""
+    seen: Set[Tuple[int, int]] = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise ValueError(
+                f"edge ({u}, {v}) references a node outside [0, {num_nodes})"
+            )
+        seen.add((min(u, v), max(u, v)))
+    return np.array(sorted(seen), dtype=np.int64).reshape(-1, 2)
+
+
+def reference_build_adjacency(
+    num_nodes: int, edges: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Legacy per-edge CSR construction loop from ``Graph._build_adjacency``.
+
+    Returns ``(offsets, neighbours, degree)``.
+    """
+    degree = np.zeros(num_nodes, dtype=np.int64)
+    for u, v in edges:
+        degree[u] += 1
+        degree[v] += 1
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degree, out=offsets[1:])
+    neighbours = np.zeros(offsets[-1], dtype=np.int64)
+    cursor = offsets[:-1].copy()
+    for u, v in edges:
+        neighbours[cursor[u]] = v
+        cursor[u] += 1
+        neighbours[cursor[v]] = u
+        cursor[v] += 1
+    for node in range(num_nodes):
+        lo, hi = offsets[node], offsets[node + 1]
+        neighbours[lo:hi].sort()
+    return offsets, neighbours, degree
+
+
+def reference_connected_components(graph: Graph) -> List[List[int]]:
+    """Legacy BFS connected components from ``Graph.connected_components``."""
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(graph.num_nodes):
+        if seen[start]:
+            continue
+        queue = [start]
+        seen[start] = True
+        comp: List[int] = []
+        while queue:
+            node = queue.pop()
+            comp.append(node)
+            for nb in graph.neighbours(node):
+                if not seen[nb]:
+                    seen[nb] = True
+                    queue.append(int(nb))
+        components.append(sorted(comp))
+    return components
+
+
+def reference_random_walks(
+    graph: Graph,
+    num_walks: int,
+    walk_length: int,
+    rng: RngLike = None,
+) -> List[List[int]]:
+    """Legacy one-walk-at-a-time uniform random walks."""
+    if num_walks <= 0 or walk_length <= 0:
+        raise ValueError("num_walks and walk_length must be positive")
+    rng = ensure_rng(rng)
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            current = int(start)
+            for _ in range(walk_length - 1):
+                neigh = graph.neighbours(current)
+                if neigh.size == 0:
+                    break
+                current = int(neigh[int(rng.integers(0, neigh.size))])
+                walk.append(current)
+            walks.append(walk)
+    return walks
+
+
+def reference_node2vec_walks(
+    graph: Graph,
+    num_walks: int,
+    walk_length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: RngLike = None,
+) -> List[List[int]]:
+    """Legacy per-step-reweighted node2vec walks."""
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    if num_walks <= 0 or walk_length <= 0:
+        raise ValueError("num_walks and walk_length must be positive")
+    rng = ensure_rng(rng)
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            for _ in range(walk_length - 1):
+                current = walk[-1]
+                neigh = graph.neighbours(current)
+                if neigh.size == 0:
+                    break
+                if len(walk) == 1:
+                    nxt = int(neigh[int(rng.integers(0, neigh.size))])
+                else:
+                    prev = walk[-2]
+                    weights = np.empty(neigh.size)
+                    for i, candidate in enumerate(neigh):
+                        if candidate == prev:
+                            weights[i] = 1.0 / p
+                        elif graph.has_edge(int(candidate), prev):
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(rng.choice(neigh, p=weights))
+                walk.append(nxt)
+            walks.append(walk)
+    return walks
+
+
+def reference_walks_to_pairs(
+    walks: List[List[int]], window_size: int = 5
+) -> np.ndarray:
+    """Legacy nested-loop skip-gram pair extraction."""
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    pairs: List[Tuple[int, int]] = []
+    for walk in walks:
+        for i, centre in enumerate(walk):
+            lo = max(0, i - window_size)
+            hi = min(len(walk), i + window_size + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((centre, walk[j]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.array(pairs, dtype=np.int64)

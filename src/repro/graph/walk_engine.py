@@ -1,0 +1,233 @@
+"""Frontier-batched vectorized random-walk engine.
+
+Instead of advancing one walk at a time (one Python-level RNG call per step
+per walk), the engine advances *all* walks one step per iteration: a single
+gather into the CSR neighbour array moves the whole frontier, so the Python
+overhead is ``O(walk_length)`` instead of ``O(num_walks * walk_length)``.
+
+Walks are returned as an ``(num_walks, walk_length)`` int64 matrix padded
+with ``-1`` after a walk terminates early (which, on an undirected graph, can
+only happen when the start node is isolated).
+
+For node2vec biasing the engine precomputes a second-order transition table:
+for every directed arc ``(t, v)`` it stores the unnormalised p/q weights of
+``v``'s neighbours together with their running cumulative sum, so one binary
+search per active walk per step samples the biased next hop.  The table holds
+``sum_v degree(v)^2`` entries — fine for the sparse graphs used here; callers
+with dense hubs should fall back to uniform walks or subsample first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SecondOrderTable:
+    """Precomputed node2vec transition table for one ``(p, q)`` setting.
+
+    Attributes
+    ----------
+    arc_keys:
+        Sorted encoded directed arcs ``src * num_nodes + dst``; the index of
+        an arc in this array is its arc id.
+    entry_offsets:
+        ``(num_arcs + 1,)`` offsets into ``candidates`` / ``cum_weights``.
+    candidates:
+        Concatenated neighbour lists of every arc's destination node.
+    cum_weights:
+        Global running cumulative sum of the unnormalised p/q weights.
+    base, total:
+        Per-arc cumulative-weight baseline and segment mass, so a uniform
+        draw ``base[a] + r * total[a]`` lands inside arc ``a``'s segment.
+    """
+
+    arc_keys: np.ndarray
+    entry_offsets: np.ndarray
+    candidates: np.ndarray
+    cum_weights: np.ndarray
+    base: np.ndarray
+    total: np.ndarray
+
+
+class WalkEngine:
+    """Vectorized uniform and node2vec walks over a :class:`Graph`."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._offsets = graph.csr_offsets
+        self._neighbours = graph.csr_neighbours
+        self._degrees = graph.degrees
+        self._tables: Dict[Tuple[float, float], SecondOrderTable] = {}
+
+    # ------------------------------------------------------------------
+    # uniform (first-order) walks
+    # ------------------------------------------------------------------
+    def uniform_walks(
+        self, starts: np.ndarray, walk_length: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Uniform random walks from ``starts``; ``(len(starts), walk_length)``."""
+        starts = self._check_starts(starts)
+        if walk_length <= 0:
+            raise ValueError(f"walk_length must be positive, got {walk_length}")
+        rng = ensure_rng(rng)
+        walks = np.full((starts.size, walk_length), -1, dtype=np.int64)
+        walks[:, 0] = starts
+        active = np.flatnonzero(self._degrees[starts] > 0)
+        current = starts[active]
+        for step in range(1, walk_length):
+            if active.size == 0:
+                break
+            current = self._uniform_step(current, rng)
+            walks[active, step] = current
+        return walks
+
+    def _uniform_step(self, current: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One uniform hop for every node in ``current`` (all have degree > 0)."""
+        deg = self._degrees[current]
+        pick = (rng.random(current.size) * deg).astype(np.int64)
+        np.minimum(pick, deg - 1, out=pick)
+        return self._neighbours[self._offsets[current] + pick]
+
+    def walk_corpus(
+        self,
+        num_walks: int,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """DeepWalk/node2vec-style corpus: ``num_walks`` shuffled passes.
+
+        Each pass shuffles the node order and starts one walk per node, as
+        in the original DeepWalk/node2vec schedules; the passes are stacked
+        into one ``(num_walks * num_nodes, walk_length)`` matrix.
+        """
+        if num_walks <= 0:
+            raise ValueError(f"num_walks must be positive, got {num_walks}")
+        rng = ensure_rng(rng)
+        nodes = np.arange(self.graph.num_nodes)
+        matrices = []
+        for _ in range(num_walks):
+            rng.shuffle(nodes)
+            matrices.append(
+                self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+            )
+        return np.vstack(matrices)
+
+    # ------------------------------------------------------------------
+    # node2vec (second-order) walks
+    # ------------------------------------------------------------------
+    def node2vec_walks(
+        self,
+        starts: np.ndarray,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Second-order biased walks (node2vec) from ``starts``.
+
+        ``p`` controls the return probability, ``q`` the in-out bias;
+        ``p = q = 1`` reduces to (and is dispatched to) uniform walks.
+        """
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        if p == 1.0 and q == 1.0:
+            return self.uniform_walks(starts, walk_length, rng=rng)
+        starts = self._check_starts(starts)
+        if walk_length <= 0:
+            raise ValueError(f"walk_length must be positive, got {walk_length}")
+        rng = ensure_rng(rng)
+        table = self.second_order_table(p, q)
+        num_nodes = np.int64(self.graph.num_nodes)
+
+        walks = np.full((starts.size, walk_length), -1, dtype=np.int64)
+        walks[:, 0] = starts
+        if walk_length == 1:
+            return walks
+        active = np.flatnonzero(self._degrees[starts] > 0)
+        if active.size == 0:
+            return walks
+        prev = starts[active]
+        current = self._uniform_step(prev, rng)
+        walks[active, 1] = current
+        for step in range(2, walk_length):
+            arc = np.searchsorted(table.arc_keys, prev * num_nodes + current)
+            target = table.base[arc] + rng.random(arc.size) * table.total[arc]
+            pos = np.searchsorted(table.cum_weights, target, side="right")
+            np.clip(pos, table.entry_offsets[arc], table.entry_offsets[arc + 1] - 1, out=pos)
+            prev, current = current, table.candidates[pos]
+            walks[active, step] = current
+        return walks
+
+    def second_order_table(self, p: float, q: float) -> SecondOrderTable:
+        """Return (building and caching on first use) the p/q transition table."""
+        key = (float(p), float(q))
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+        table = self._build_second_order_table(float(p), float(q))
+        self._tables[key] = table
+        return table
+
+    def _build_second_order_table(self, p: float, q: float) -> SecondOrderTable:
+        num_nodes = np.int64(self.graph.num_nodes)
+        offsets, neighbours, degrees = self._offsets, self._neighbours, self._degrees
+        src = np.repeat(np.arange(self.graph.num_nodes, dtype=np.int64), degrees)
+        dst = neighbours
+        # CSR order makes these keys strictly increasing — no sort needed.
+        arc_keys = src * num_nodes + dst
+
+        counts = degrees[dst]
+        entry_offsets = np.zeros(arc_keys.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=entry_offsets[1:])
+        num_entries = int(entry_offsets[-1])
+        entry_arc = np.repeat(np.arange(arc_keys.size, dtype=np.int64), counts)
+        local = np.arange(num_entries, dtype=np.int64) - entry_offsets[entry_arc]
+        candidates = neighbours[offsets[dst[entry_arc]] + local]
+        prev_nodes = src[entry_arc]
+
+        # Membership test "is (candidate, prev) an edge?" via binary search on
+        # the sorted arc keys.
+        cand_keys = candidates * num_nodes + prev_nodes
+        pos = np.searchsorted(arc_keys, cand_keys)
+        pos_clipped = np.minimum(pos, max(arc_keys.size - 1, 0))
+        is_edge = (
+            (pos < arc_keys.size) & (arc_keys[pos_clipped] == cand_keys)
+            if arc_keys.size
+            else np.zeros(0, dtype=bool)
+        )
+
+        weights = np.full(num_entries, 1.0 / q)
+        weights[is_edge] = 1.0
+        weights[candidates == prev_nodes] = 1.0 / p
+
+        cum_weights = np.cumsum(weights)
+        seg_end = cum_weights[entry_offsets[1:] - 1] if arc_keys.size else np.zeros(0)
+        base = np.zeros_like(seg_end)
+        base[1:] = seg_end[:-1]
+        total = seg_end - base
+        return SecondOrderTable(
+            arc_keys=arc_keys,
+            entry_offsets=entry_offsets,
+            candidates=candidates,
+            cum_weights=cum_weights,
+            base=base,
+            total=total,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_starts(self, starts: np.ndarray) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64).ravel()
+        if starts.size and (starts.min() < 0 or starts.max() >= self.graph.num_nodes):
+            raise ValueError(
+                f"start nodes must lie in [0, {self.graph.num_nodes})"
+            )
+        return starts

@@ -1,0 +1,77 @@
+"""Shared non-private link-prediction head used by the decoupled GNN baselines.
+
+GAP and DPAR both end with the same post-processing stage: train a linear
+projection of privatised node features with an inner-product link-prediction
+loss.  Both used to carry a private copy of the epoch/batch loop; this module
+expresses it once on top of :class:`~repro.train.loop.TrainingLoop`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.splits import train_test_split_edges
+from repro.nn.functional import sigmoid
+from repro.train.loop import LoopResult, TrainingLoop
+from repro.utils.logging import TrainingHistory
+
+
+def fit_link_prediction_head(
+    *,
+    graph: Graph,
+    features: np.ndarray,
+    weight: np.ndarray,
+    num_epochs: int,
+    batch_size: int,
+    learning_rate: float,
+    history: TrainingHistory,
+    rng: np.random.Generator,
+    test_fraction: float = 0.1,
+) -> LoopResult:
+    """Train ``weight`` (in place) so ``features @ weight`` scores edges well.
+
+    The loss over a batch of positive/negative pairs is binary cross-entropy
+    on ``sigmoid(z_i . z_j)``; the per-epoch *sum* of batch means is recorded
+    to ``history`` under ``"loss"``, matching the baselines' original
+    behaviour.  Uses only ``features`` (already privatised by the caller) and
+    the public edge split, so the whole stage is DP post-processing.
+    """
+    split = train_test_split_edges(graph, test_fraction=test_fraction, rng=rng)
+    pos = split.train_edges
+    neg = split.train_negatives
+    pairs = np.vstack([pos, neg])
+    labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
+
+    steps_per_epoch = max(1, -(-pairs.shape[0] // batch_size))
+    epoch_state = {"order": None}
+
+    def step(epoch: int, step_idx: int) -> float:
+        if step_idx == 0:
+            epoch_state["order"] = rng.permutation(pairs.shape[0])
+        idx = epoch_state["order"][step_idx * batch_size : (step_idx + 1) * batch_size]
+        batch_pairs = pairs[idx]
+        batch_labels = labels[idx]
+        emb = features @ weight
+        zi = emb[batch_pairs[:, 0]]
+        zj = emb[batch_pairs[:, 1]]
+        probs = sigmoid(np.einsum("ij,ij->i", zi, zj))
+        residual = (probs - batch_labels)[:, None]
+        feats_i = features[batch_pairs[:, 0]]
+        feats_j = features[batch_pairs[:, 1]]
+        grad_weight = (
+            feats_i.T @ (residual * zj) + feats_j.T @ (residual * zi)
+        ) / batch_pairs.shape[0]
+        weight[...] -= learning_rate * grad_weight
+        return float(
+            np.mean(
+                -(batch_labels * np.log(probs + 1e-12)
+                  + (1 - batch_labels) * np.log(1 - probs + 1e-12))
+            )
+        )
+
+    def epoch_end(epoch: int, losses) -> None:
+        history.record("loss", sum(losses))
+
+    loop = TrainingLoop(num_epochs, steps_per_epoch)
+    return loop.run(step, epoch_end)

@@ -1,0 +1,35 @@
+"""The structural ``Trainer`` protocol every embedding model satisfies.
+
+The experiments layer treats all models uniformly: construct, ``fit()``,
+read ``embeddings`` / ``history``, score edges.  The protocol documents that
+contract (and lets type checkers verify it) without forcing a base class on
+models whose internals differ as much as a skip-gram and a graph VAE.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.logging import TrainingHistory
+
+
+@runtime_checkable
+class Trainer(Protocol):
+    """Anything that trains node embeddings through ``repro.train``."""
+
+    history: TrainingHistory
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Released ``(num_nodes, dim)`` node embeddings."""
+        ...
+
+    def fit(self) -> "Trainer":
+        """Run the training schedule and return ``self``."""
+        ...
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Link-prediction scores for an ``(n, 2)`` array of node pairs."""
+        ...
