@@ -4,6 +4,10 @@ Reproduces a miniature version of the paper's Fig. 3 on one dataset: AdvSGM,
 DP-SGM and DPAR are trained at several privacy budgets and their link
 prediction AUC is printed next to the non-private skip-gram reference.
 
+The whole sweep is one declarative :class:`repro.ExperimentSpec`; the cells
+carry their own derived seeds, so ``run_spec(spec, workers=4)`` trains the
+grid across a process pool with results identical to the serial path.
+
 Run with::
 
     python examples/privacy_utility_tradeoff.py
@@ -11,54 +15,51 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AdvSGM, LinkPredictionTask, load_dataset
-from repro.baselines import DPAR, DPARConfig, DPSGM, DPSGMConfig
-from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+import os
+
+from repro import ExperimentSpec, run_spec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import advsgm_config
+from repro.experiments.runners import settings_model
 
 EPSILONS = (1.0, 2.0, 4.0, 6.0)
+MODELS = ("AdvSGM", "DP-SGM", "DPAR")
 
 
 def main() -> None:
     settings = ExperimentSettings(dataset_scale=0.5, embedding_dim=64, dp_epochs=120)
-    graph = load_dataset("facebook", scale=settings.dataset_scale, seed=7)
-    task = LinkPredictionTask(graph, rng=7)
-    train_graph = task.train_graph
-    print(f"dataset: {graph}")
 
-    # Non-private reference.
-    sgm = SkipGramModel(
-        train_graph,
-        SkipGramConfig(embedding_dim=64, num_epochs=30, batches_per_epoch=15, batch_size=128),
-        rng=7,
-    ).fit()
-    print(f"non-private SGM reference AUC: {task.evaluate(sgm.score_edges).auc:.4f}\n")
+    # Non-private reference: one registry call, no config class imports.
+    spec = ExperimentSpec(
+        task="link_prediction",
+        datasets=("facebook",),
+        models=(
+            settings_model("sgm", settings, label="SGM(No DP)",
+                           num_epochs=30, batch_size=128),
+        ),
+        epsilons=(None,),
+        base_seed=7,
+        dataset_scale=settings.dataset_scale,
+    )
+    [reference] = run_spec(spec)
+    print(f"non-private SGM reference AUC: {reference['auc']:.4f}\n")
 
-    header = f"{'epsilon':>8} {'AdvSGM':>10} {'DP-SGM':>10} {'DPAR':>10}"
-    print(header)
+    # The private grid: 3 models x 4 budgets = 12 independent cells.
+    grid = ExperimentSpec(
+        task="link_prediction",
+        datasets=("facebook",),
+        models=tuple(settings_model(m, settings, label=m) for m in MODELS),
+        epsilons=EPSILONS,
+        base_seed=7,
+        dataset_scale=settings.dataset_scale,
+    )
+    workers = min(4, os.cpu_count() or 1)
+    rows = run_spec(grid, workers=workers)
+    auc = {(r["model"], r["epsilon"]): r["auc"] for r in rows}
+
+    print(f"{'epsilon':>8} " + " ".join(f"{m:>10}" for m in MODELS))
     for epsilon in EPSILONS:
-        advsgm = AdvSGM(train_graph, advsgm_config(settings, epsilon), rng=7).fit()
-        dpsgm = DPSGM(
-            train_graph,
-            DPSGMConfig(
-                embedding_dim=64,
-                batch_size=settings.dp_batch_size,
-                num_epochs=settings.dp_epochs,
-                batches_per_epoch=settings.discriminator_steps,
-                epsilon=epsilon,
-            ),
-            rng=7,
-        ).fit()
-        dpar = DPAR(
-            train_graph, DPARConfig(embedding_dim=64, num_epochs=10, epsilon=epsilon), rng=7
-        ).fit()
-        print(
-            f"{epsilon:>8.1f} "
-            f"{task.evaluate(advsgm.score_edges).auc:>10.4f} "
-            f"{task.evaluate(dpsgm.score_edges).auc:>10.4f} "
-            f"{task.evaluate(dpar.score_edges).auc:>10.4f}"
-        )
+        cells = " ".join(f"{auc[(m, epsilon)]:>10.4f}" for m in MODELS)
+        print(f"{epsilon:>8.1f} {cells}")
 
     print(
         "\nExpected shape (paper Fig. 3): AdvSGM grows with epsilon and beats the"

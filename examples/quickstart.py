@@ -5,19 +5,22 @@ Run with::
     python examples/quickstart.py
 
 The script loads the PPI dataset analogue, trains AdvSGM under a (6, 1e-5)
-privacy budget, reports the budget actually spent, and evaluates the released
-embeddings on link prediction and node clustering.
+privacy budget through the registry-based estimator API, reports the budget
+actually spent, and evaluates the released embeddings on link prediction and
+node clustering.  The command-line equivalent of the training step is::
+
+    python -m repro train --model advsgm --dataset ppi --epsilon 6 \
+        --scale 0.5 --seed 42 --set num_epochs=60 --set batch_size=8
 """
 
 from __future__ import annotations
 
 from repro import (
-    AdvSGM,
-    AdvSGMConfig,
     LinkPredictionTask,
     NodeClusteringTask,
     ProgressCallback,
     load_dataset,
+    make_model,
 )
 
 
@@ -30,25 +33,28 @@ def main() -> None:
     # 2. Hold out 10% of the edges for link-prediction evaluation.
     task = LinkPredictionTask(graph, test_fraction=0.1, rng=42)
 
-    # 3. Configure AdvSGM.  Defaults follow the paper; here we shrink the
-    #    schedule so the example finishes in under a minute.
-    config = AdvSGMConfig(
+    # 3. Build AdvSGM from the model registry.  Config defaults follow the
+    #    paper; keyword overrides are validated against the model's config
+    #    dataclass.  Here we shrink the schedule so the example finishes in
+    #    under a minute.
+    model = make_model(
+        "advsgm",
+        epsilon=6.0,       # target privacy budget
+        rng=42,
         embedding_dim=64,
         batch_size=8,
         num_epochs=60,
         discriminator_steps=15,
         generator_steps=5,
-        epsilon=6.0,       # target privacy budget
         delta=1e-5,
         noise_multiplier=5.0,
     )
+    config = model.config
 
     # 4. Train.  Training stops automatically once the RDP accountant says the
     #    next update would exceed the (epsilon, delta) budget; the callback
     #    (any repro.train.Callback) prints progress every 20 epochs.
-    model = AdvSGM(task.train_graph, config, rng=42).fit(
-        callbacks=[ProgressCallback(print_every=20)]
-    )
+    model.fit(task.train_graph, callbacks=[ProgressCallback(print_every=20)])
     spent = model.privacy_spent()
     print(
         f"training done: {model.accountant.steps} gradient steps, "

@@ -31,10 +31,28 @@ contribution:
 ``repro.evals``
     Link-prediction and node-clustering evaluation protocols (AUC, affinity
     propagation, mutual information).
+``repro.api``
+    The unified estimator surface: the ``GraphEmbedder`` protocol, the
+    string-keyed model registry (``make_model``) and declarative
+    ``ExperimentSpec`` grids.
 ``repro.experiments``
-    One module per paper table/figure that regenerates the reported series.
+    One module per paper table/figure that regenerates the reported series,
+    all running through ``run_spec`` (serially or across a process pool).
+
+The command line mirrors the library: ``python -m repro train / evaluate /
+experiment / datasets list / models list``.
 """
 
+from repro.api import (
+    ExperimentCell,
+    ExperimentSpec,
+    GraphEmbedder,
+    ModelSpec,
+    get_entry,
+    list_models,
+    make_model,
+    register_model,
+)
 from repro.core.advsgm import AdvSGM
 from repro.core.config import AdvSGMConfig
 from repro.embedding.skipgram import SkipGramModel
@@ -52,7 +70,7 @@ from repro.train import (
     TrainingLoop,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdvSGM",
@@ -70,5 +88,23 @@ __all__ = [
     "ProgressCallback",
     "Trainer",
     "TrainingLoop",
+    "GraphEmbedder",
+    "ExperimentCell",
+    "ExperimentSpec",
+    "ModelSpec",
+    "get_entry",
+    "list_models",
+    "make_model",
+    "register_model",
     "__version__",
 ]
+
+
+def run_spec(spec, workers: int = 1):
+    """Run an :class:`ExperimentSpec`; see :func:`repro.experiments.runners.run_spec`.
+
+    Imported lazily so ``import repro`` stays light.
+    """
+    from repro.experiments.runners import run_spec as _run_spec
+
+    return _run_spec(spec, workers=workers)

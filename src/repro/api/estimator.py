@@ -1,0 +1,116 @@
+"""The ``GraphEmbedder`` estimator surface shared by every model.
+
+All eleven models (AdvSGM, the non-private skip-gram family, and the six
+private baselines) expose one uniform estimator API on top of their bespoke
+internals:
+
+* ``Model(graph=None, config=None, rng=None)`` — constructing without a graph
+  yields an *unbound* estimator that only holds its config; all expensive,
+  graph-dependent state (embedding matrices, samplers, accountants) is created
+  when a graph arrives.
+* ``fit(graph=None, callbacks=()) -> self`` — binds the graph (if not already
+  bound at construction) and runs the training schedule.
+* ``embeddings_`` — the released ``(num_nodes, dim)`` node embeddings
+  (sklearn-style trailing underscore; an alias of each model's ``embeddings``).
+* ``get_params() / set_params(**params)`` — read/replace the config dataclass
+  fields.  ``set_params`` is only legal on an unbound estimator, because the
+  models derive state (matrix shapes, noise calibration) from the config the
+  moment a graph is bound.
+
+:class:`EstimatorMixin` implements the config/params half once; each model
+implements binding via ``_setup(graph)`` and calls
+:meth:`EstimatorMixin._bind_on_fit` at the top of ``fit``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class GraphEmbedder(Protocol):
+    """Structural protocol for every registered graph-embedding estimator."""
+
+    @property
+    def embeddings_(self) -> np.ndarray:
+        """Released ``(num_nodes, dim)`` node embeddings (after ``fit``)."""
+        ...
+
+    def fit(self, graph=None, callbacks=()) -> "GraphEmbedder":
+        """Bind ``graph`` (if unbound) and run the training schedule."""
+        ...
+
+    def get_params(self) -> Dict[str, Any]:
+        """The config dataclass fields as a plain dict."""
+        ...
+
+    def set_params(self, **params: Any) -> "GraphEmbedder":
+        """Replace config fields on an unbound estimator; returns ``self``."""
+        ...
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Link-prediction scores for an ``(n, 2)`` array of node pairs."""
+        ...
+
+
+class EstimatorMixin:
+    """Config-introspection half of the :class:`GraphEmbedder` API.
+
+    Expects the host class to keep its hyper-parameters in a dataclass at
+    ``self.config``, its (possibly ``None``) bound graph at ``self.graph``,
+    and its graph-dependent initialisation in ``_setup(graph)``.
+    """
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the config dataclass fields as a plain (JSON-able) dict."""
+        return dataclasses.asdict(self.config)
+
+    def set_params(self, **params: Any):
+        """Replace config fields; only valid before a graph is bound.
+
+        The models size their state (embedding matrices, noise calibration,
+        samplers) from the config at bind time, so mutating the config on a
+        bound estimator would desynchronise the two.
+        """
+        if not params:
+            return self
+        if getattr(self, "graph", None) is not None:
+            raise RuntimeError(
+                "set_params() requires an unbound estimator; this model is "
+                "already bound to a graph. Construct a fresh one with "
+                "make_model() instead."
+            )
+        self.config = dataclasses.replace(self.config, **params)
+        return self
+
+    @property
+    def embeddings_(self) -> np.ndarray:
+        """sklearn-style alias of the released ``embeddings``."""
+        return self.embeddings
+
+    # ------------------------------------------------------------------
+    def _bind_on_fit(self, graph) -> None:
+        """Standard ``fit(graph=...)`` preamble: bind now or verify bound."""
+        if graph is not None:
+            from repro.graph.graph import Graph
+
+            if not isinstance(graph, Graph):
+                raise TypeError(
+                    f"fit() expects a repro Graph as its first argument, got "
+                    f"{type(graph).__name__}; pass callbacks by keyword "
+                    "(fit(callbacks=...))"
+                )
+            if self.graph is not None and graph is not self.graph:
+                raise RuntimeError(
+                    "estimator is already bound to a different graph; "
+                    "construct a fresh model to train on a new graph"
+                )
+            if self.graph is None:
+                self._setup(graph)
+        if self.graph is None:
+            raise RuntimeError(
+                "no graph bound: pass one at construction or to fit(graph)"
+            )

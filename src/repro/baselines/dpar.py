@@ -26,6 +26,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import RdpAccountant
@@ -67,18 +69,33 @@ class DPARConfig:
         check_probability(self.delta, "delta")
 
 
-class DPAR:
+@register_model(
+    "dpar",
+    private=True,
+    paper="Sec. VI baselines (DPAR, Zhang et al. WWW 2024) / Fig. 3-4",
+    description="Decoupled GNN with one privatised PPR propagation release",
+)
+class DPAR(EstimatorMixin):
     """Decoupled GNN with a single privatised propagation."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DPARConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or DPARConfig()
-        feat_rng, noise_rng, weight_rng, train_rng = spawn_rngs(rng, 4)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self._private_features: Optional[np.ndarray] = None
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: split the seed stream and calibrate the noise."""
+        self.graph = graph
+        feat_rng, noise_rng, weight_rng, train_rng = spawn_rngs(self._rng, 4)
         self._feat_rng = feat_rng
         self._noise_rng = noise_rng
         self._train_rng = train_rng
@@ -88,8 +105,6 @@ class DPAR:
             rng=weight_rng,
         )
         self.accountant = RdpAccountant(self._calibrated_sigma())
-        self.history = TrainingHistory()
-        self._private_features: Optional[np.ndarray] = None
 
     def _calibrated_sigma(self) -> float:
         """Noise multiplier so that all propagation releases meet the budget."""
@@ -168,12 +183,13 @@ class DPAR:
         return self.accountant.get_privacy_spent(self.config.delta)
 
     # ------------------------------------------------------------------
-    def fit(self) -> "DPAR":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DPAR":
         """Privatise the propagation once, then train the projection head.
 
         The head is the shared ``repro.train`` link-prediction projection
         (post-processing of the already-private features).
         """
+        self._bind_on_fit(graph)
         cfg = self.config
         self._private_features = self._privatised_features()
         fit_link_prediction_head(
@@ -185,5 +201,6 @@ class DPAR:
             learning_rate=cfg.learning_rate,
             history=self.history,
             rng=self._train_rng,
+            callbacks=callbacks,
         )
         return self

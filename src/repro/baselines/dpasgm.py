@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.baselines.dpsgm import DPSGM, DPSGMConfig
 from repro.core.generator import GeneratorPair
 from repro.graph.graph import Graph
@@ -40,18 +41,35 @@ class DPASGMConfig(DPSGMConfig):
             raise ValueError("generator_steps must be positive")
 
 
+@register_model(
+    "dpasgm",
+    aliases=("dp-asgm",),
+    private=True,
+    paper="Sec. III-B / Table V (DP-ASGM, the paper's first-cut solution)",
+    description="Adversarial skip-gram trained with DPSGD (plain module)",
+)
 class DPASGM(DPSGM):
     """Adversarial skip-gram + DPSGD (the DP-ASGM baseline)."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DPASGMConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        cfg = config or DPASGMConfig()
-        model_rng, gen_rng = spawn_rngs(rng, 2)
-        super().__init__(graph, cfg, rng=model_rng)
+        super().__init__(graph, config or DPASGMConfig(), rng=rng)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``; splits the seed stream exactly as before.
+
+        The parent consumes a child stream (``model_rng``) and the generator
+        pair another (``gen_rng``), preserving seed-for-seed parity with the
+        construction-time binding this class always had.
+        """
+        cfg: DPASGMConfig = self.config  # type: ignore[assignment]
+        model_rng, gen_rng = spawn_rngs(self._rng, 2)
+        self._rng = model_rng
+        super()._setup(graph)
         self.generators = GeneratorPair(
             embedding_dim=cfg.embedding_dim,
             noise_multiplier=cfg.noise_multiplier,

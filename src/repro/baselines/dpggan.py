@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler
 from repro.nn.functional import sigmoid
@@ -61,18 +63,33 @@ class DPGGANConfig:
         check_probability(self.delta, "delta")
 
 
-class DPGGAN:
+@register_model(
+    "dpggan",
+    private=True,
+    paper="Sec. VI baselines (DPGGAN, Yang et al. IJCAI 2021) / Fig. 3-4",
+    description="DPSGD-trained inner-product graph GAN",
+)
+class DPGGAN(EstimatorMixin):
     """Simplified DPSGD-trained graph GAN."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DPGGANConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or DPGGANConfig()
-        init_rng, sample_rng, noise_rng, gen_rng = spawn_rngs(rng, 4)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self.stopped_early = False
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: initialise latents, generator, sampler, budget."""
+        self.graph = graph
+        init_rng, sample_rng, noise_rng, gen_rng = spawn_rngs(self._rng, 4)
         dim = self.config.embedding_dim
         self.latent = normal_init((graph.num_nodes, dim), std=0.1, rng=init_rng)
         self.generator_weight = xavier_uniform((dim, dim), rng=gen_rng)
@@ -85,8 +102,6 @@ class DPGGAN:
         self.budget = PrivacyBudget(
             self.accountant, self.config.epsilon, self.config.delta
         )
-        self.history = TrainingHistory()
-        self.stopped_early = False
 
     @property
     def embeddings(self) -> np.ndarray:
@@ -154,8 +169,9 @@ class DPGGAN:
         grad_weight = noise.T @ grad_pre / count
         self.generator_weight += cfg.generator_learning_rate * grad_weight
 
-    def fit(self, callbacks=()) -> "DPGGAN":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DPGGAN":
         """Alternate DPSGD discriminator updates with generator updates."""
+        self._bind_on_fit(graph)
 
         def epoch_end(epoch: int, losses) -> None:
             self._generator_step()

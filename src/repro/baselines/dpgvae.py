@@ -18,6 +18,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler
 from repro.nn.functional import sigmoid
@@ -64,18 +66,33 @@ class DPGVAEConfig:
         check_positive(self.kl_weight, "kl_weight")
 
 
-class DPGVAE:
+@register_model(
+    "dpgvae",
+    private=True,
+    paper="Sec. VI baselines (DPGVAE, Yang et al. IJCAI 2021) / Fig. 3-4",
+    description="DPSGD-trained graph variational auto-encoder",
+)
+class DPGVAE(EstimatorMixin):
     """Simplified DPSGD-trained graph VAE."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DPGVAEConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or DPGVAEConfig()
-        feat_rng, weight_rng, sample_rng, noise_rng = spawn_rngs(rng, 4)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self.stopped_early = False
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``; the (privatised) GCN aggregation happens here."""
+        self.graph = graph
+        feat_rng, weight_rng, sample_rng, noise_rng = spawn_rngs(self._rng, 4)
         cfg = self.config
         # Random node features, as in the paper's feature-less evaluation.
         self.features = normal_init(
@@ -108,8 +125,6 @@ class DPGVAE:
         )
         self.accountant = RdpAccountant(cfg.noise_multiplier)
         self.budget = PrivacyBudget(self.accountant, cfg.epsilon, cfg.delta)
-        self.history = TrainingHistory()
-        self.stopped_early = False
 
     # ------------------------------------------------------------------
     @property
@@ -156,8 +171,9 @@ class DPGVAE:
         self.weight_mu -= cfg.learning_rate * (clipped + noise / pairs.shape[0])
         self.accountant.step(self.sampler.edge_sampling_probability)
 
-    def fit(self, callbacks=()) -> "DPGVAE":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DPGVAE":
         """Train until the schedule ends or the privacy budget is exhausted."""
+        self._bind_on_fit(graph)
         loop = TrainingLoop(
             self.config.num_epochs,
             self.config.batches_per_epoch,

@@ -16,8 +16,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
-from repro.graph.sampling import EdgeSampler
+from repro.graph.sampling import EdgeSampler, check_negative_distribution
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
@@ -42,8 +44,10 @@ class DPSGMConfig:
     noise_multiplier: float = 5.0
     epsilon: float = 6.0
     delta: float = 1e-5
+    negative_distribution: str = "uniform"
 
     def __post_init__(self) -> None:
+        check_negative_distribution(self.negative_distribution)
         for name in (
             "embedding_dim",
             "num_negatives",
@@ -60,18 +64,34 @@ class DPSGMConfig:
         check_probability(self.delta, "delta")
 
 
-class DPSGM:
+@register_model(
+    "dpsgm",
+    aliases=("dp-sgm",),
+    private=True,
+    paper="Sec. III-B / Table V (DP-SGM baseline)",
+    description="Skip-gram trained with DPSGD gradient perturbation",
+)
+class DPSGM(EstimatorMixin):
     """Skip-gram trained with DPSGD (the DP-SGM baseline)."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DPSGMConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or DPSGMConfig()
-        init_rng, sample_rng, noise_rng = spawn_rngs(rng, 3)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self.stopped_early = False
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: initialise embeddings, sampler and accountant."""
+        self.graph = graph
+        init_rng, sample_rng, noise_rng = spawn_rngs(self._rng, 3)
         dim = self.config.embedding_dim
         self.w_in = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
         self.w_out = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
@@ -81,13 +101,12 @@ class DPSGM:
             batch_size=self.config.batch_size,
             num_negatives=self.config.num_negatives,
             rng=sample_rng,
+            negative_distribution=self.config.negative_distribution,
         )
         self.accountant = RdpAccountant(self.config.noise_multiplier)
         self.budget = PrivacyBudget(
             self.accountant, self.config.epsilon, self.config.delta
         )
-        self.history = TrainingHistory()
-        self.stopped_early = False
 
     # ------------------------------------------------------------------
     @property
@@ -153,7 +172,7 @@ class DPSGM:
         """End-of-epoch hook (overridden by DP-ASGM to add generator steps)."""
         self.history.record("epsilon_spent", self.privacy_spent().epsilon)
 
-    def fit(self, callbacks=()) -> "DPSGM":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DPSGM":
         """Train until the epoch schedule ends or the budget is exhausted.
 
         The shared loop polls the budget before every batch; a mid-batch
@@ -161,6 +180,7 @@ class DPSGM:
         :class:`BudgetExhausted`, skipping the epoch-end hook exactly like the
         original hand-rolled loop did.
         """
+        self._bind_on_fit(graph)
         loop = TrainingLoop(
             self.config.num_epochs,
             self.config.batches_per_epoch,

@@ -25,6 +25,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import RdpAccountant
@@ -64,18 +66,33 @@ class GAPConfig:
         check_probability(self.delta, "delta")
 
 
-class GAP:
+@register_model(
+    "gap",
+    private=True,
+    paper="Sec. VI baselines (GAP, Sajadmanesh et al. 2023) / Fig. 3-4",
+    description="DP GNN via per-hop aggregation perturbation",
+)
+class GAP(EstimatorMixin):
     """Aggregation-perturbation GNN baseline."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[GAPConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or GAPConfig()
-        feat_rng, noise_rng, weight_rng, train_rng = spawn_rngs(rng, 4)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self._noisy_aggregates: Optional[np.ndarray] = None
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: split the seed stream and calibrate the noise."""
+        self.graph = graph
+        feat_rng, noise_rng, weight_rng, train_rng = spawn_rngs(self._rng, 4)
         self._feat_rng = feat_rng
         self._noise_rng = noise_rng
         self._train_rng = train_rng
@@ -84,8 +101,6 @@ class GAP:
             (cfg.feature_dim * (cfg.num_hops + 1), cfg.embedding_dim), rng=weight_rng
         )
         self.accountant = RdpAccountant(self._calibrated_sigma())
-        self.history = TrainingHistory()
-        self._noisy_aggregates: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _calibrated_sigma(self) -> float:
@@ -149,13 +164,14 @@ class GAP:
         return self.accountant.get_privacy_spent(self.config.delta)
 
     # ------------------------------------------------------------------
-    def fit(self) -> "GAP":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "GAP":
         """Perturb aggregations once, then train the projection head on them.
 
         The head is the shared ``repro.train`` link-prediction projection:
         non-private post-processing that only sees the noisy aggregates and
         the public training split.
         """
+        self._bind_on_fit(graph)
         cfg = self.config
         self._noisy_aggregates = self._perturbed_aggregations()
         fit_link_prediction_head(
@@ -167,5 +183,6 @@ class GAP:
             learning_rate=cfg.learning_rate,
             history=self.history,
             rng=self._train_rng,
+            callbacks=callbacks,
         )
         return self

@@ -1,0 +1,302 @@
+"""``python -m repro`` — command-line front end over the estimator registry.
+
+Subcommands
+-----------
+``datasets list``
+    The synthetic dataset analogues and the paper datasets they stand in for.
+``models list``
+    Every registered estimator with its paper section.
+``train``
+    Train one registered model on one dataset (``--set field=value`` overrides
+    any config dataclass field; ``--out`` saves the embeddings as ``.npz``).
+``evaluate``
+    Train + evaluate one model on link prediction or node clustering using
+    the experiment settings presets.
+``experiment``
+    Regenerate a paper figure/table (``fig2 fig3 fig4 table2 table3 table4
+    table5``), optionally restricted to given datasets/models/epsilons and
+    parallelised over experiment cells with ``--workers``.
+
+Examples
+--------
+::
+
+    python -m repro datasets list
+    python -m repro train --model advsgm --dataset ppi --epsilon 6 \
+        --set num_epochs=2 --scale 0.15 --out emb.npz
+    python -m repro evaluate --model dpar --dataset wiki --epsilon 4 \
+        --task node_clustering --preset smoke
+    python -m repro experiment fig3 --dataset ppi --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.registry import get_entry, list_models, make_model
+from repro.graph.datasets import get_spec as get_dataset_spec
+from repro.graph.datasets import list_datasets, load_dataset
+
+
+def _coerce(value: str, target: Any) -> Any:
+    """Parse a ``--set`` string into the type of the config field default."""
+    if isinstance(target, bool):
+        if value.lower() in ("true", "1", "yes", "on"):
+            return True
+        if value.lower() in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean, got {value!r}")
+    if isinstance(target, int) and not isinstance(target, bool):
+        return int(value)
+    if isinstance(target, float):
+        return float(value)
+    if isinstance(target, tuple):
+        return tuple(json.loads(value))
+    return value
+
+
+def _parse_overrides(model_name: str, pairs: Sequence[str]) -> Dict[str, Any]:
+    """Turn ``field=value`` strings into typed config overrides."""
+    entry = get_entry(model_name)
+    defaults = {f.name: f for f in dataclasses.fields(entry.config_cls)}
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects field=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        if key not in defaults:
+            raise SystemExit(
+                f"unknown config field {key!r} for model {entry.name!r}; "
+                f"valid: {', '.join(sorted(defaults))}"
+            )
+        field = defaults[key]
+        template = (
+            field.default
+            if field.default is not dataclasses.MISSING
+            else field.default_factory()  # type: ignore[misc]
+        )
+        try:
+            overrides[key] = _coerce(raw, template)
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot parse --set {pair!r}: {exc}")
+    return overrides
+
+
+def _emit(results: Any, text: str, json_path: Optional[str]) -> None:
+    """Print the text rendering; optionally dump JSON next to it."""
+    print(text)
+    if json_path:
+        payload = json.dumps(results, indent=2, default=str)
+        if json_path == "-":
+            print(payload)
+        else:
+            with open(json_path, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"[json written to {json_path}]")
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(f"{'name':<10}{'base nodes':>12}{'paper nodes':>13}{'paper edges':>13}  labelled")
+        for name in list_datasets():
+            spec = get_dataset_spec(name)
+            labelled = f"yes ({spec.num_classes} classes)" if spec.labelled else "no"
+            print(
+                f"{spec.name:<10}{spec.base_nodes:>12}{spec.paper_nodes:>13}"
+                f"{spec.paper_edges:>13}  {labelled}"
+            )
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(f"{'name':<14}{'class':<22}{'private':<9}paper")
+        for name in list_models():
+            entry = get_entry(name)
+            print(
+                f"{entry.name:<14}{entry.cls.__name__:<22}"
+                f"{'yes' if entry.private else 'no':<9}{entry.paper}"
+            )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    entry = get_entry(args.model)
+    overrides = _parse_overrides(args.model, args.set or [])
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    epsilon = args.epsilon if entry.private else None
+    if args.epsilon is not None and not entry.private:
+        raise SystemExit(f"model {entry.name!r} is not private; drop --epsilon")
+    model = make_model(
+        entry.name, epsilon=epsilon, graph=graph, rng=args.seed, **overrides
+    )
+    print(f"training {entry.name} on {args.dataset} "
+          f"({graph.num_nodes} nodes, {graph.num_edges} edges)")
+    model.fit()
+    embeddings = model.embeddings_
+    print(f"done: embeddings {embeddings.shape[0]} x {embeddings.shape[1]}")
+    spent = getattr(model, "privacy_spent", None)
+    if callable(spent):
+        spent = spent()
+        if spent is not None:
+            print(f"privacy spent: epsilon={spent.epsilon:.3f} at delta={spent.delta:g}")
+    if args.out:
+        import numpy as np
+
+        np.savez_compressed(args.out, embeddings=embeddings)
+        print(f"embeddings saved to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentSettings
+    from repro.experiments.runners import (
+        evaluate_link_prediction,
+        evaluate_node_clustering,
+    )
+
+    entry = get_entry(args.model)
+    settings = ExperimentSettings.preset(args.preset)
+    if args.scale is not None:
+        settings = dataclasses.replace(settings, dataset_scale=args.scale)
+    if args.seed is not None:
+        settings = dataclasses.replace(settings, seed=args.seed)
+    epsilon = args.epsilon if entry.private else None
+    if args.epsilon is not None and not entry.private:
+        raise SystemExit(f"model {entry.name!r} is not private; drop --epsilon")
+    runner = (
+        evaluate_link_prediction
+        if args.task == "link_prediction"
+        else evaluate_node_clustering
+    )
+    row = runner(args.model, args.dataset, epsilon, settings, repeat=args.repeat)
+    text = "\n".join(
+        f"{key}: {value}" for key, value in row.items() if value is not None
+    )
+    _emit(row, text, args.json)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentSettings,
+        fig2_weight_rationality,
+        fig3_link_prediction,
+        fig4_node_clustering,
+        table2_learning_rate,
+        table3_batch_size,
+        table4_bound_b,
+        table5_private_skipgram_comparison,
+    )
+
+    modules = {
+        "fig2": fig2_weight_rationality,
+        "fig3": fig3_link_prediction,
+        "fig4": fig4_node_clustering,
+        "table2": table2_learning_rate,
+        "table3": table3_batch_size,
+        "table4": table4_bound_b,
+        "table5": table5_private_skipgram_comparison,
+    }
+    module = modules[args.name]
+    settings = ExperimentSettings.preset(args.preset)
+    kwargs: Dict[str, Any] = {}
+    if args.name in ("fig3", "fig4", "table2", "table3", "table4", "table5"):
+        kwargs["workers"] = args.workers
+    if args.dataset:
+        if args.name == "fig2":
+            raise SystemExit("fig2 runs on its fixed dataset panel")
+        key = "auc_datasets" if args.name == "table5" else "datasets"
+        kwargs[key] = tuple(args.dataset)
+        if args.name == "table5":
+            # MI needs labels; restrict the MI columns to the labelled subset
+            # of the requested datasets (possibly dropping them entirely).
+            labelled = [d for d in args.dataset if get_dataset_spec(d).labelled]
+            kwargs["mi_datasets"] = tuple(labelled)
+    if args.models:
+        if args.name not in ("fig3", "fig4"):
+            raise SystemExit(f"--models only applies to fig3/fig4, not {args.name}")
+        kwargs["models"] = tuple(args.models)
+    if args.epsilons:
+        if args.name not in ("fig3", "fig4", "table5"):
+            raise SystemExit(f"--epsilons does not apply to {args.name}")
+        kwargs["epsilons"] = tuple(args.epsilons)
+    results = module.run(settings, **kwargs)
+    _emit(results, module.format_table(results), args.json)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AdvSGM reproduction: registry-driven training, "
+        "evaluation and paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="dataset registry operations")
+    p_datasets.add_argument("action", choices=["list"], help="what to do")
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_models = sub.add_parser("models", help="model registry operations")
+    p_models.add_argument("action", choices=["list"], help="what to do")
+    p_models.set_defaults(func=_cmd_models)
+
+    p_train = sub.add_parser("train", help="train one model on one dataset")
+    p_train.add_argument("--model", required=True, help="registry name (see `models list`)")
+    p_train.add_argument("--dataset", required=True, help="dataset name (see `datasets list`)")
+    p_train.add_argument("--epsilon", type=float, default=None, help="privacy budget (private models)")
+    p_train.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
+    p_train.add_argument("--seed", type=int, default=2025, help="root seed")
+    p_train.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                         help="override a config field (repeatable)")
+    p_train.add_argument("--out", help="save embeddings to this .npz file")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="train + evaluate one model")
+    p_eval.add_argument("--model", required=True)
+    p_eval.add_argument("--dataset", required=True)
+    p_eval.add_argument("--task", choices=["link_prediction", "node_clustering"],
+                        default="link_prediction")
+    p_eval.add_argument("--epsilon", type=float, default=None)
+    p_eval.add_argument("--preset", choices=["smoke", "quick", "full"], default="quick",
+                        help="experiment settings preset")
+    p_eval.add_argument("--scale", type=float, default=None, help="override dataset scale")
+    p_eval.add_argument("--seed", type=int, default=None, help="override the root seed")
+    p_eval.add_argument("--repeat", type=int, default=0, help="repeat index (derives the seed)")
+    p_eval.add_argument("--json", help="also write the result row as JSON ('-' for stdout)")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=["fig2", "fig3", "fig4", "table2",
+                                        "table3", "table4", "table5"])
+    p_exp.add_argument("--preset", choices=["smoke", "quick", "full"], default="quick")
+    p_exp.add_argument("--dataset", action="append",
+                       help="restrict to this dataset (repeatable)")
+    p_exp.add_argument("--models", nargs="+", help="restrict fig3/fig4 to these models")
+    p_exp.add_argument("--epsilons", nargs="+", type=float,
+                       help="restrict the swept privacy budgets")
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for the experiment cells")
+    p_exp.add_argument("--json", help="also write results as JSON ('-' for stdout)")
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

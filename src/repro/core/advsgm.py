@@ -25,6 +25,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.core.config import AdvSGMConfig
 from repro.core.discriminator import AdvSGMDiscriminator
 from repro.core.generator import GeneratorPair
@@ -36,13 +38,21 @@ from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 
 
-class AdvSGM:
+@register_model(
+    "advsgm",
+    aliases=("adv-sgm",),
+    private=True,
+    paper="Sec. V, Algorithm 3 (the paper's contribution)",
+    description="DP adversarial skip-gram with optimizable noise terms",
+)
+class AdvSGM(EstimatorMixin):
     """Differentially private adversarial skip-gram trainer.
 
     Parameters
     ----------
     graph:
-        Training graph.
+        Training graph; omit to create an unbound estimator and pass the
+        graph to :meth:`fit` instead.
     config:
         :class:`AdvSGMConfig`; defaults follow the paper.
     rng:
@@ -61,13 +71,25 @@ class AdvSGM:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[AdvSGMConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or AdvSGMConfig()
-        disc_rng, gen_rng, sample_rng = spawn_rngs(rng, 3)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        self.stopped_early = False
+        self._fitted = False
+        self.accountant = None
+        self.budget = None
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: build discriminator, generators, sampler, budget."""
+        self.graph = graph
+        disc_rng, gen_rng, sample_rng = spawn_rngs(self._rng, 3)
 
         self.discriminator = AdvSGMDiscriminator(
             graph.num_nodes, self.config, rng=disc_rng
@@ -86,6 +108,7 @@ class AdvSGM:
             batch_size=self.config.batch_size,
             num_negatives=self.config.num_negatives,
             rng=sample_rng,
+            negative_distribution=self.config.negative_distribution,
         )
         self.accountant = (
             RdpAccountant(self.config.noise_multiplier, orders=self.config.rdp_orders)
@@ -97,9 +120,6 @@ class AdvSGM:
             if self.accountant is not None
             else None
         )
-        self.history = TrainingHistory()
-        self.stopped_early = False
-        self._fitted = False
 
     # ------------------------------------------------------------------
     # public API
@@ -168,7 +188,7 @@ class AdvSGM:
             real_vi, real_vj, learning_rate=self.config.learning_rate_g
         )
 
-    def fit(self, callbacks=()) -> "AdvSGM":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "AdvSGM":
         """Run Algorithm 3 through the shared training loop and return ``self``.
 
         Each loop step is one discriminator iteration; the generator phase is
@@ -177,6 +197,7 @@ class AdvSGM:
         (``finish_epoch_on_stop=True``).  Calling ``fit`` twice raises to
         avoid silently double-spending the privacy budget.
         """
+        self._bind_on_fit(graph)
         if self._fitted:
             raise RuntimeError("fit() may only be called once per AdvSGM instance")
         self._fitted = True

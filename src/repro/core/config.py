@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.graph.sampling import check_negative_distribution
 from repro.utils.validation import check_positive, check_probability
 
 
@@ -28,6 +29,12 @@ class AdvSGMConfig:
     dp_enabled:
         Set to ``False`` to train the same architecture without any noise or
         accounting — the "AdvSGM (No DP)" configuration of Table V.
+    negative_distribution:
+        ``"uniform"`` (the paper's Algorithm 2, and what the ``B k / |V|``
+        amplification analysis of Theorem 7 assumes) or ``"unigram075"`` for
+        word2vec-style degree^0.75 alias-table draws.  Keep the default for
+        DP runs; the weighted distribution is intended for the non-private
+        configurations.
     noise_mode:
         ``"per_example"`` draws an independent noise vector for every node
         pair (the literal reading of Eqs. 19/21, i.e. what optimising
@@ -59,6 +66,7 @@ class AdvSGMConfig:
     sigmoid_a: float = 1e-5
     sigmoid_b: float = 120.0
     dp_enabled: bool = True
+    negative_distribution: str = "uniform"
     noise_mode: str = "per_example"
     normalize_embeddings: bool = True
     average_gradients: bool = False
@@ -85,6 +93,7 @@ class AdvSGMConfig:
         check_positive(self.sigmoid_b, "sigmoid_b")
         if self.sigmoid_b <= self.sigmoid_a:
             raise ValueError("sigmoid_b must exceed sigmoid_a")
+        check_negative_distribution(self.negative_distribution)
         if self.noise_mode not in ("per_example", "per_batch"):
             raise ValueError(
                 f"noise_mode must be 'per_example' or 'per_batch', got {self.noise_mode!r}"

@@ -14,24 +14,37 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.core.advsgm import AdvSGM
 from repro.core.config import AdvSGMConfig
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike
 
 
-class AdversarialSkipGram:
+@register_model(
+    "advsgm-nodp",
+    aliases=("advsgm(no dp)", "advsgm_nodp"),
+    paper="Table V, 'AdvSGM (No DP)' row",
+    description="Adversarial skip-gram with DP noise and accounting off",
+)
+class AdversarialSkipGram(EstimatorMixin):
     """Non-private adversarial skip-gram (AdvSGM with the noise switched off)."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[AdvSGMConfig] = None,
         rng: RngLike = None,
     ) -> None:
         base = config or AdvSGMConfig()
         self.config = replace(base, dp_enabled=False)
         self._model = AdvSGM(graph, self.config, rng=rng)
+        self.graph = self._model.graph
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind the wrapped AdvSGM trainer to ``graph``."""
+        self._model._setup(graph)
         self.graph = graph
 
     @property
@@ -49,8 +62,18 @@ class AdversarialSkipGram:
         """Always ``False`` — without DP there is no budget to exhaust."""
         return self._model.stopped_early
 
-    def fit(self, callbacks=()) -> "AdversarialSkipGram":
+    def set_params(self, **params) -> "AdversarialSkipGram":
+        """Replace config fields (``dp_enabled`` stays off) on both layers."""
+        super().set_params(**params)
+        self.config = replace(self.config, dp_enabled=False)
+        self._model.config = self.config
+        return self
+
+    def fit(
+        self, graph: Optional[Graph] = None, callbacks=()
+    ) -> "AdversarialSkipGram":
         """Train the model (through the shared loop) and return ``self``."""
+        self._bind_on_fit(graph)
         self._model.fit(callbacks=callbacks)
         return self
 

@@ -13,8 +13,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
 from repro.graph.random_walk import walks_to_pairs
+from repro.graph.sampling import (
+    AliasTable,
+    check_negative_distribution,
+    unigram_weights,
+)
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
 from repro.train import TrainingLoop
@@ -35,6 +42,7 @@ class DeepWalkConfig:
     learning_rate: float = 0.05
     num_epochs: int = 2
     batch_size: int = 512
+    negative_distribution: str = "uniform"
 
     def __post_init__(self) -> None:
         for name in ("embedding_dim", "num_walks", "walk_length", "window_size",
@@ -42,24 +50,52 @@ class DeepWalkConfig:
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         check_positive(self.learning_rate, "learning_rate")
+        check_negative_distribution(self.negative_distribution)
 
 
-class DeepWalk:
+@register_model(
+    "deepwalk",
+    paper="Sec. VI related models (DeepWalk, Perozzi et al. 2014)",
+    description="Skip-gram over uniform random-walk co-occurrence pairs",
+)
+class DeepWalk(EstimatorMixin):
     """DeepWalk trainer built on the shared skip-gram update rule."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[DeepWalkConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or DeepWalkConfig()
-        self._init_rng, self._walk_rng, self._train_rng = spawn_rngs(rng, 3)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: initialise embeddings and the negative table."""
+        self.graph = graph
+        self._init_rng, self._walk_rng, self._train_rng = spawn_rngs(self._rng, 3)
         dim = self.config.embedding_dim
         self.w_in = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
         self.w_out = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
-        self.history = TrainingHistory()
+        self._negative_table = (
+            AliasTable(unigram_weights(graph.degrees))
+            if self.config.negative_distribution == "unigram075"
+            else None
+        )
+
+    def _draw_negatives(self, count: int, num_negatives: int) -> np.ndarray:
+        """``(count, k)`` negative node ids from the configured distribution."""
+        if self._negative_table is not None:
+            return self._negative_table.draw(
+                self._train_rng, size=(count, num_negatives)
+            )
+        return self._train_rng.integers(
+            0, self.graph.num_nodes, size=(count, num_negatives)
+        )
 
     @property
     def embeddings(self) -> np.ndarray:
@@ -82,9 +118,7 @@ class DeepWalk:
         for start in range(0, pairs.shape[0], cfg.batch_size):
             batch = pairs[order[start : start + cfg.batch_size]]
             centres, contexts = batch[:, 0], batch[:, 1]
-            negatives = self._train_rng.integers(
-                0, self.graph.num_nodes, size=(batch.shape[0], cfg.num_negatives)
-            )
+            negatives = self._draw_negatives(batch.shape[0], cfg.num_negatives)
 
             v_c = self.w_in[centres]
             v_o = self.w_out[contexts]
@@ -115,8 +149,9 @@ class DeepWalk:
             num_batches += 1
         return total_loss / max(1, num_batches)
 
-    def fit(self, callbacks=()) -> "DeepWalk":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DeepWalk":
         """Generate walks and train for the configured number of epochs."""
+        self._bind_on_fit(graph)
         pairs = self._generate_pairs()
         if pairs.shape[0] == 0:
             raise RuntimeError("random walks produced no training pairs")

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.embedding.deepwalk import DeepWalk, DeepWalkConfig
 from repro.graph.graph import Graph
 from repro.graph.random_walk import walks_to_pairs
@@ -34,12 +35,17 @@ class Node2VecConfig(DeepWalkConfig):
         check_positive(self.q, "q")
 
 
+@register_model(
+    "node2vec",
+    paper="Sec. VI related models (node2vec, Grover & Leskovec 2016)",
+    description="Skip-gram over second-order (p, q)-biased random walks",
+)
 class Node2Vec(DeepWalk):
     """node2vec trainer (biased walks + skip-gram)."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[Node2VecConfig] = None,
         rng: RngLike = None,
     ) -> None:

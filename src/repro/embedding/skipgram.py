@@ -20,8 +20,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.estimator import EstimatorMixin
+from repro.api.registry import register_model
 from repro.graph.graph import Graph
-from repro.graph.sampling import EdgeSampler, SampleBatch
+from repro.graph.sampling import EdgeSampler, SampleBatch, check_negative_distribution
 from repro.nn.functional import log_sigmoid, sigmoid
 from repro.nn.init import uniform_embedding
 from repro.train import TrainingLoop
@@ -41,6 +43,7 @@ class SkipGramConfig:
     num_epochs: int = 50
     batches_per_epoch: int = 15
     normalize_embeddings: bool = True
+    negative_distribution: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.embedding_dim <= 0:
@@ -52,15 +55,23 @@ class SkipGramConfig:
         check_positive(self.learning_rate, "learning_rate")
         if self.num_epochs <= 0 or self.batches_per_epoch <= 0:
             raise ValueError("num_epochs and batches_per_epoch must be positive")
+        check_negative_distribution(self.negative_distribution)
 
 
-class SkipGramModel:
+@register_model(
+    "sgm",
+    aliases=("skipgram", "sgm(no dp)"),
+    paper="Sec. II-B, Eq. 2 (SGM baseline of Table V)",
+    description="Non-private LINE-style skip-gram with negative sampling",
+)
+class SkipGramModel(EstimatorMixin):
     """Skip-gram graph embedding (LINE first-order with negative sampling).
 
     Parameters
     ----------
     graph:
-        Training graph.
+        Training graph; omit to create an unbound estimator and pass the
+        graph to :meth:`fit` instead.
     config:
         :class:`SkipGramConfig`; defaults follow the paper's settings.
     rng:
@@ -69,13 +80,21 @@ class SkipGramModel:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Optional[Graph] = None,
         config: Optional[SkipGramConfig] = None,
         rng: RngLike = None,
     ) -> None:
-        self.graph = graph
         self.config = config or SkipGramConfig()
-        init_rng, sample_rng = spawn_rngs(rng, 2)
+        self._rng = rng
+        self.graph: Optional[Graph] = None
+        self.history = TrainingHistory()
+        if graph is not None:
+            self._setup(graph)
+
+    def _setup(self, graph: Graph) -> None:
+        """Bind ``graph``: initialise embeddings and the batch sampler."""
+        self.graph = graph
+        init_rng, sample_rng = spawn_rngs(self._rng, 2)
         dim = self.config.embedding_dim
         self.w_in = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
         self.w_out = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
@@ -86,8 +105,8 @@ class SkipGramModel:
             batch_size=self.config.batch_size,
             num_negatives=self.config.num_negatives,
             rng=sample_rng,
+            negative_distribution=self.config.negative_distribution,
         )
-        self.history = TrainingHistory()
 
     # ------------------------------------------------------------------
     # embedding access
@@ -169,8 +188,9 @@ class SkipGramModel:
             self._normalize()
         return loss
 
-    def fit(self, callbacks=()) -> "SkipGramModel":
+    def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "SkipGramModel":
         """Run the full schedule through the shared loop and return ``self``."""
+        self._bind_on_fit(graph)
         loop = TrainingLoop(
             self.config.num_epochs, self.config.batches_per_epoch, callbacks=callbacks
         )

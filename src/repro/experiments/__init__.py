@@ -7,11 +7,19 @@ configuration (smaller graphs, fewer epochs) so the whole suite regenerates in
 minutes on a laptop; ``ExperimentSettings.full()`` uses the paper's schedule.
 """
 
+from repro.api import ExperimentCell, ExperimentSpec, ModelSpec
 from repro.experiments.config import ExperimentSettings, DEFAULT_EPSILONS
 from repro.experiments.runners import (
+    MODEL_SETTINGS,
     build_private_model,
     evaluate_link_prediction,
     evaluate_node_clustering,
+    nest_series,
+    run_cell,
+    run_spec,
+    settings_model,
+    settings_overrides,
+    spec_from_settings,
     PRIVATE_MODEL_NAMES,
 )
 from repro.experiments import (
@@ -25,11 +33,21 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "ExperimentCell",
+    "ExperimentSpec",
+    "ModelSpec",
     "ExperimentSettings",
     "DEFAULT_EPSILONS",
+    "MODEL_SETTINGS",
     "build_private_model",
     "evaluate_link_prediction",
     "evaluate_node_clustering",
+    "nest_series",
+    "run_cell",
+    "run_spec",
+    "settings_model",
+    "settings_overrides",
+    "spec_from_settings",
     "PRIVATE_MODEL_NAMES",
     "fig2_weight_rationality",
     "fig3_link_prediction",

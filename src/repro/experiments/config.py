@@ -114,3 +114,13 @@ class ExperimentSettings:
     def full(cls) -> "ExperimentSettings":
         """Paper-scale schedule (slow; hours for the full figure sweeps)."""
         return cls(dataset_scale=1.0, nodp_epochs=50, dp_epochs=400, gnn_epochs=30)
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentSettings":
+        """Look up a named preset (``smoke`` / ``quick`` / ``full``)."""
+        presets = {"smoke": cls.smoke, "quick": cls.quick, "full": cls.full}
+        if name not in presets:
+            raise KeyError(
+                f"unknown preset {name!r}; available: {', '.join(sorted(presets))}"
+            )
+        return presets[name]()

@@ -10,11 +10,30 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+from repro.api import ExperimentSpec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import PRIVATE_MODEL_NAMES, evaluate_link_prediction
+from repro.experiments.runners import (
+    PRIVATE_MODEL_NAMES,
+    nest_series,
+    run_spec,
+    spec_from_settings,
+)
 
 #: Datasets shown in Fig. 3 (panels a-f).
 FIG3_DATASETS = ("ppi", "facebook", "wiki", "blog", "epinions", "dblp")
+
+
+def spec(
+    settings: ExperimentSettings | None = None,
+    datasets: Iterable[str] = FIG3_DATASETS,
+    models: Iterable[str] = PRIVATE_MODEL_NAMES,
+    epsilons: Iterable[float] | None = None,
+) -> ExperimentSpec:
+    """The declarative (dataset x model x epsilon) grid behind Fig. 3."""
+    settings = settings or ExperimentSettings.quick()
+    return spec_from_settings(
+        "link_prediction", datasets, models, settings, epsilons=epsilons, repeats=1
+    )
 
 
 def run(
@@ -22,20 +41,11 @@ def run(
     datasets: Iterable[str] = FIG3_DATASETS,
     models: Iterable[str] = PRIVATE_MODEL_NAMES,
     epsilons: Iterable[float] | None = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[float, float]]]:
     """Return ``{dataset: {model: {epsilon: auc}}}``."""
-    settings = settings or ExperimentSettings.quick()
-    epsilons = tuple(epsilons) if epsilons is not None else settings.epsilons
-    results: Dict[str, Dict[str, Dict[float, float]]] = {}
-    for dataset in datasets:
-        results[dataset] = {}
-        for model in models:
-            series: Dict[float, float] = {}
-            for epsilon in epsilons:
-                outcome = evaluate_link_prediction(model, dataset, epsilon, settings)
-                series[epsilon] = outcome["auc"]
-            results[dataset][model] = series
-    return results
+    results = run_spec(spec(settings, datasets, models, epsilons), workers=workers)
+    return nest_series(results, "auc")
 
 
 def format_table(results: Dict[str, Dict[str, Dict[float, float]]]) -> str:

@@ -10,11 +10,30 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+from repro.api import ExperimentSpec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import PRIVATE_MODEL_NAMES, evaluate_node_clustering
+from repro.experiments.runners import (
+    PRIVATE_MODEL_NAMES,
+    nest_series,
+    run_spec,
+    spec_from_settings,
+)
 
 #: Labelled datasets shown in Fig. 4 (panels a-c).
 FIG4_DATASETS = ("ppi", "wiki", "blog")
+
+
+def spec(
+    settings: ExperimentSettings | None = None,
+    datasets: Iterable[str] = FIG4_DATASETS,
+    models: Iterable[str] = PRIVATE_MODEL_NAMES,
+    epsilons: Iterable[float] | None = None,
+) -> ExperimentSpec:
+    """The declarative (dataset x model x epsilon) grid behind Fig. 4."""
+    settings = settings or ExperimentSettings.quick()
+    return spec_from_settings(
+        "node_clustering", datasets, models, settings, epsilons=epsilons, repeats=1
+    )
 
 
 def run(
@@ -22,20 +41,11 @@ def run(
     datasets: Iterable[str] = FIG4_DATASETS,
     models: Iterable[str] = PRIVATE_MODEL_NAMES,
     epsilons: Iterable[float] | None = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[float, float]]]:
     """Return ``{dataset: {model: {epsilon: mi}}}``."""
-    settings = settings or ExperimentSettings.quick()
-    epsilons = tuple(epsilons) if epsilons is not None else settings.epsilons
-    results: Dict[str, Dict[str, Dict[float, float]]] = {}
-    for dataset in datasets:
-        results[dataset] = {}
-        for model in models:
-            series: Dict[float, float] = {}
-            for epsilon in epsilons:
-                outcome = evaluate_node_clustering(model, dataset, epsilon, settings)
-                series[epsilon] = outcome["mi"]
-            results[dataset][model] = series
-    return results
+    results = run_spec(spec(settings, datasets, models, epsilons), workers=workers)
+    return nest_series(results, "mi")
 
 
 def format_table(results: Dict[str, Dict[str, Dict[float, float]]]) -> str:

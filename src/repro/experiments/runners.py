@@ -1,29 +1,29 @@
-"""Shared model construction and evaluation used by every experiment module."""
+"""Shared experiment machinery: settings-to-config data, cells and runners.
+
+Historically this module hand-assembled every model's config dataclass in a
+chain of per-model factory functions.  With the :mod:`repro.api` registry the
+per-model glue collapses into **data**: :data:`MODEL_SETTINGS` maps each
+registry name to the config fields it derives from :class:`ExperimentSettings`
+(either a settings attribute name, a constant, or a callable), and
+:func:`make_model` does the construction.
+
+Sweeps run through :class:`repro.api.ExperimentSpec`: the spec expands into
+independent, serialisable cells with derived seeds, :func:`run_cell` executes
+one cell, and :func:`run_spec` maps over the cells — serially or across a
+process pool (``workers=N``).  Because seeds are derived *before* the fan
+out, the parallel path is bit-for-bit identical to the serial one.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.baselines import (
-    DPAR,
-    DPARConfig,
-    DPASGM,
-    DPASGMConfig,
-    DPGGAN,
-    DPGGANConfig,
-    DPGVAE,
-    DPGVAEConfig,
-    DPSGM,
-    DPSGMConfig,
-    GAP,
-    GAPConfig,
-)
-from repro.core.advsgm import AdvSGM
+from repro.api import ExperimentCell, ExperimentSpec, ModelSpec, SEED_STRIDE
+from repro.api.registry import get_entry, make_model
 from repro.core.config import AdvSGMConfig
-from repro.embedding.adversarial import AdversarialSkipGram
-from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
 from repro.evals.clustering import NodeClusteringTask
 from repro.evals.link_prediction import LinkPredictionTask
 from repro.experiments.config import ExperimentSettings
@@ -33,6 +33,105 @@ from repro.train import Trainer
 
 #: Private models compared in Fig. 3 / Fig. 4 of the paper.
 PRIVATE_MODEL_NAMES = ("DPGGAN", "DPGVAE", "GAP", "DPAR", "AdvSGM")
+
+# ---------------------------------------------------------------------------
+# ExperimentSettings -> config-field overrides, per registry name (pure data)
+# ---------------------------------------------------------------------------
+#: Each value is a mapping ``config_field -> source`` where the source is an
+#: :class:`ExperimentSettings` attribute name, a constant, or a callable
+#: ``settings -> value``.
+SettingsSource = Union[str, int, float, Callable[[ExperimentSettings], Any]]
+
+_DP_SKIPGRAM: Dict[str, SettingsSource] = {
+    "embedding_dim": "embedding_dim",
+    "num_negatives": "num_negatives",
+    "batch_size": "dp_batch_size",
+    "learning_rate": "learning_rate",
+    "num_epochs": "dp_epochs",
+    "batches_per_epoch": "discriminator_steps",
+    "noise_multiplier": "noise_multiplier",
+    "delta": "delta",
+}
+
+_DP_GAN: Dict[str, SettingsSource] = {
+    "embedding_dim": "embedding_dim",
+    "batch_size": lambda s: max(32, s.dp_batch_size),
+    "num_epochs": lambda s: min(s.dp_epochs, 50),
+    "batches_per_epoch": "discriminator_steps",
+    "noise_multiplier": "noise_multiplier",
+    "delta": "delta",
+}
+
+_DP_GNN: Dict[str, SettingsSource] = {
+    "embedding_dim": "embedding_dim",
+    "num_epochs": "gnn_epochs",
+    "delta": "delta",
+}
+
+_ADVSGM: Dict[str, SettingsSource] = {
+    "embedding_dim": "embedding_dim",
+    "num_negatives": "num_negatives",
+    "batch_size": "dp_batch_size",
+    "learning_rate_d": "learning_rate",
+    "learning_rate_g": "learning_rate",
+    "num_epochs": "dp_epochs",
+    "discriminator_steps": "discriminator_steps",
+    "generator_steps": "generator_steps",
+    "noise_multiplier": "noise_multiplier",
+    "delta": "delta",
+    "sigmoid_b": "sigmoid_b",
+}
+
+MODEL_SETTINGS: Dict[str, Mapping[str, SettingsSource]] = {
+    "advsgm": _ADVSGM,
+    "advsgm-nodp": {**_ADVSGM, "batch_size": 128, "num_epochs": "nodp_epochs"},
+    "sgm": {
+        "embedding_dim": "embedding_dim",
+        "num_negatives": "num_negatives",
+        "batch_size": 128,
+        "learning_rate": "learning_rate",
+        "num_epochs": "nodp_epochs",
+        "batches_per_epoch": "discriminator_steps",
+    },
+    "dpsgm": _DP_SKIPGRAM,
+    "dpasgm": _DP_SKIPGRAM,
+    "dpggan": _DP_GAN,
+    "dpgvae": _DP_GAN,
+    "gap": _DP_GNN,
+    "dpar": _DP_GNN,
+    "deepwalk": {"embedding_dim": "embedding_dim"},
+    "node2vec": {"embedding_dim": "embedding_dim"},
+}
+
+
+def settings_overrides(name: str, settings: ExperimentSettings) -> Dict[str, Any]:
+    """Materialise the config overrides :data:`MODEL_SETTINGS` prescribes."""
+    sources = MODEL_SETTINGS.get(get_entry(name).name, {})
+    overrides: Dict[str, Any] = {}
+    for config_field, source in sources.items():
+        if callable(source):
+            overrides[config_field] = source(settings)
+        elif isinstance(source, str):
+            overrides[config_field] = getattr(settings, source)
+        else:
+            overrides[config_field] = source
+    return overrides
+
+
+def settings_model(
+    name: str,
+    settings: ExperimentSettings,
+    label: Optional[str] = None,
+    **extra: Any,
+) -> ModelSpec:
+    """A :class:`ModelSpec` whose overrides come from ``settings`` (+ extras)."""
+    overrides = settings_overrides(name, settings)
+    overrides.update(extra)
+    return ModelSpec(
+        name=get_entry(name).name,
+        label=label if label is not None else name,
+        overrides=overrides,
+    )
 
 
 def load_experiment_graph(name: str, settings: ExperimentSettings) -> Graph:
@@ -49,22 +148,17 @@ def advsgm_config(
     sigmoid_b: Optional[float] = None,
 ) -> AdvSGMConfig:
     """AdvSGM configuration derived from the experiment settings."""
-    lr = settings.learning_rate if learning_rate is None else learning_rate
-    return AdvSGMConfig(
-        embedding_dim=settings.embedding_dim,
-        num_negatives=settings.num_negatives,
-        batch_size=settings.dp_batch_size if batch_size is None else batch_size,
-        learning_rate_d=lr,
-        learning_rate_g=lr,
-        num_epochs=settings.dp_epochs if dp_enabled else settings.nodp_epochs,
-        discriminator_steps=settings.discriminator_steps,
-        generator_steps=settings.generator_steps,
-        noise_multiplier=settings.noise_multiplier,
-        epsilon=epsilon,
-        delta=settings.delta,
-        sigmoid_b=settings.sigmoid_b if sigmoid_b is None else sigmoid_b,
-        dp_enabled=dp_enabled,
-    )
+    overrides = settings_overrides("advsgm", settings)
+    if not dp_enabled:
+        overrides["num_epochs"] = settings.nodp_epochs
+    if batch_size is not None:
+        overrides["batch_size"] = batch_size
+    if learning_rate is not None:
+        overrides["learning_rate_d"] = learning_rate
+        overrides["learning_rate_g"] = learning_rate
+    if sigmoid_b is not None:
+        overrides["sigmoid_b"] = sigmoid_b
+    return AdvSGMConfig(epsilon=epsilon, dp_enabled=dp_enabled, **overrides)
 
 
 def build_private_model(
@@ -76,99 +170,183 @@ def build_private_model(
 ) -> Trainer:
     """Instantiate one of the compared private models by name (untrained).
 
-    Every returned model satisfies the :class:`repro.train.Trainer` protocol
-    and runs its schedule through the shared ``repro.train`` loop.
+    Thin wrapper over :func:`repro.api.make_model` with the settings-derived
+    overrides of :data:`MODEL_SETTINGS`; kept for backward compatibility with
+    the historical per-model factory.
     """
-    key = name.lower()
-    if key == "advsgm":
-        return AdvSGM(graph, advsgm_config(settings, epsilon), rng=seed)
-    if key == "dp-sgm" or key == "dpsgm":
-        cfg = DPSGMConfig(
-            embedding_dim=settings.embedding_dim,
-            num_negatives=settings.num_negatives,
-            batch_size=settings.dp_batch_size,
-            learning_rate=settings.learning_rate,
-            num_epochs=settings.dp_epochs,
-            batches_per_epoch=settings.discriminator_steps,
-            noise_multiplier=settings.noise_multiplier,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return DPSGM(graph, cfg, rng=seed)
-    if key == "dp-asgm" or key == "dpasgm":
-        cfg = DPASGMConfig(
-            embedding_dim=settings.embedding_dim,
-            num_negatives=settings.num_negatives,
-            batch_size=settings.dp_batch_size,
-            learning_rate=settings.learning_rate,
-            num_epochs=settings.dp_epochs,
-            batches_per_epoch=settings.discriminator_steps,
-            noise_multiplier=settings.noise_multiplier,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return DPASGM(graph, cfg, rng=seed)
-    if key == "dpggan":
-        cfg = DPGGANConfig(
-            embedding_dim=settings.embedding_dim,
-            batch_size=max(32, settings.dp_batch_size),
-            num_epochs=min(settings.dp_epochs, 50),
-            batches_per_epoch=settings.discriminator_steps,
-            noise_multiplier=settings.noise_multiplier,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return DPGGAN(graph, cfg, rng=seed)
-    if key == "dpgvae":
-        cfg = DPGVAEConfig(
-            embedding_dim=settings.embedding_dim,
-            batch_size=max(32, settings.dp_batch_size),
-            num_epochs=min(settings.dp_epochs, 50),
-            batches_per_epoch=settings.discriminator_steps,
-            noise_multiplier=settings.noise_multiplier,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return DPGVAE(graph, cfg, rng=seed)
-    if key == "gap":
-        cfg = GAPConfig(
-            embedding_dim=settings.embedding_dim,
-            num_epochs=settings.gnn_epochs,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return GAP(graph, cfg, rng=seed)
-    if key == "dpar":
-        cfg = DPARConfig(
-            embedding_dim=settings.embedding_dim,
-            num_epochs=settings.gnn_epochs,
-            epsilon=epsilon,
-            delta=settings.delta,
-        )
-        return DPAR(graph, cfg, rng=seed)
-    raise KeyError(f"unknown private model {name!r}")
+    entry = get_entry(name)
+    if not entry.private:
+        raise KeyError(f"model {name!r} is not a private model")
+    return make_model(
+        entry.name,
+        epsilon=epsilon,
+        graph=graph,
+        rng=seed,
+        **settings_overrides(entry.name, settings),
+    )
 
 
 def build_nonprivate_model(
     name: str, graph: Graph, settings: ExperimentSettings, seed: int
 ) -> Trainer:
     """Instantiate SGM(No DP) or AdvSGM(No DP) (untrained)."""
-    key = name.lower()
-    if key in ("sgm", "sgm(no dp)"):
-        cfg = SkipGramConfig(
-            embedding_dim=settings.embedding_dim,
-            num_negatives=settings.num_negatives,
-            batch_size=128,
-            learning_rate=settings.learning_rate,
-            num_epochs=settings.nodp_epochs,
-            batches_per_epoch=settings.discriminator_steps,
+    entry = get_entry(name)
+    if entry.private:
+        raise KeyError(f"model {name!r} is not a non-private model")
+    return make_model(
+        entry.name,
+        graph=graph,
+        rng=seed,
+        **settings_overrides(entry.name, settings),
+    )
+
+
+# ---------------------------------------------------------------------------
+# spec construction and execution
+# ---------------------------------------------------------------------------
+def spec_from_settings(
+    task: str,
+    datasets: Iterable[str],
+    models: Iterable[Union[str, ModelSpec]],
+    settings: ExperimentSettings,
+    epsilons: Optional[Iterable[Optional[float]]] = None,
+    repeats: Optional[int] = None,
+) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` whose cells follow ``settings``.
+
+    Plain model names get their :data:`MODEL_SETTINGS` overrides; pre-built
+    :class:`ModelSpec` entries (e.g. from :func:`settings_model` with sweep
+    extras) pass through unchanged.
+    """
+    model_specs = tuple(
+        m if isinstance(m, ModelSpec) else settings_model(m, settings)
+        for m in models
+    )
+    return ExperimentSpec(
+        task=task,
+        datasets=tuple(datasets),
+        models=model_specs,
+        epsilons=tuple(epsilons) if epsilons is not None else settings.epsilons,
+        repeats=repeats if repeats is not None else settings.num_repeats,
+        base_seed=settings.seed,
+        dataset_scale=settings.dataset_scale,
+        test_fraction=settings.test_fraction,
+    )
+
+
+def run_cell(cell: ExperimentCell) -> Dict[str, Any]:
+    """Execute one independent experiment cell and return its result row.
+
+    This is the unit of work of the multiprocess runner, so it is a plain
+    module-level function of one picklable argument.
+    """
+    graph = load_dataset(
+        cell.dataset, scale=cell.dataset_scale, seed=cell.dataset_seed
+    )
+    overrides = dict(cell.model.overrides)
+    row: Dict[str, Any] = {
+        "task": cell.task,
+        "dataset": cell.dataset,
+        "model": cell.model.display,
+        "name": cell.model.name,
+        "epsilon": cell.epsilon,
+        "repeat": cell.repeat,
+        "seed": cell.seed,
+    }
+    if cell.task == "link_prediction":
+        task = LinkPredictionTask(
+            graph, test_fraction=cell.test_fraction, rng=cell.seed
         )
-        return SkipGramModel(graph, cfg, rng=seed)
-    if key in ("advsgm(no dp)", "advsgm-nodp"):
-        return AdversarialSkipGram(
-            graph, advsgm_config(settings, epsilon=1.0, dp_enabled=False, batch_size=128), rng=seed
+        model = make_model(
+            cell.model.name,
+            epsilon=cell.epsilon,
+            graph=task.train_graph,
+            rng=cell.seed,
+            **overrides,
         )
-    raise KeyError(f"unknown non-private model {name!r}")
+        model.fit()
+        row["auc"] = task.evaluate(model.score_edges).auc
+    elif cell.task == "node_clustering":
+        model = make_model(
+            cell.model.name,
+            epsilon=cell.epsilon,
+            graph=graph,
+            rng=cell.seed,
+            **overrides,
+        )
+        model.fit()
+        outcome = NodeClusteringTask(graph).evaluate(model.embeddings_)
+        row["mi"] = outcome.mutual_information
+        row["nmi"] = outcome.normalized_mutual_information
+    elif cell.task == "none":  # train without evaluating (timing/warm-up runs)
+        make_model(
+            cell.model.name,
+            epsilon=cell.epsilon,
+            graph=graph,
+            rng=cell.seed,
+            **overrides,
+        ).fit()
+    else:
+        raise ValueError(f"unknown cell task {cell.task!r}")
+    return row
+
+
+def run_spec(spec: ExperimentSpec, workers: int = 1) -> List[Dict[str, Any]]:
+    """Run every cell of ``spec``; ``workers > 1`` uses a process pool.
+
+    The cells are independent and carry their own derived seeds, so the
+    result list is identical (row for row) whichever way it is computed;
+    rows follow ``spec.cells()`` order either way.
+    """
+    cells = spec.cells()
+    if workers <= 1:
+        return [run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_cell, cells))
+
+
+def nest_series(
+    results: Iterable[Mapping[str, Any]], value_key: str
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Reshape result rows into ``{dataset: {model: {epsilon: value}}}``.
+
+    Repeats of the same cell position are averaged.
+    """
+    grouped: Dict[tuple, List[float]] = {}
+    for row in results:
+        grouped.setdefault(
+            (row["dataset"], row["model"], row["epsilon"]), []
+        ).append(row[value_key])
+    nested: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for (dataset, model, epsilon), values in grouped.items():
+        nested.setdefault(dataset, {}).setdefault(model, {})[epsilon] = float(
+            np.mean(values)
+        )
+    return nested
+
+
+# ---------------------------------------------------------------------------
+# single-cell conveniences (historical API, now spec-backed)
+# ---------------------------------------------------------------------------
+def _single_cell(
+    task: str,
+    model_name: str,
+    dataset: str,
+    epsilon: Optional[float],
+    settings: ExperimentSettings,
+    repeat: int,
+) -> ExperimentCell:
+    return ExperimentCell(
+        task=task,
+        dataset=dataset,
+        model=settings_model(model_name, settings),
+        epsilon=epsilon,
+        repeat=repeat,
+        seed=settings.seed + SEED_STRIDE * repeat,
+        dataset_scale=settings.dataset_scale,
+        dataset_seed=settings.seed,
+        test_fraction=settings.test_fraction,
+    )
 
 
 def evaluate_link_prediction(
@@ -177,15 +355,11 @@ def evaluate_link_prediction(
     epsilon: float,
     settings: ExperimentSettings,
     repeat: int = 0,
-) -> Dict[str, float]:
+) -> Dict[str, Any]:
     """Train one private model and return its test AUC on ``dataset``."""
-    graph = load_experiment_graph(dataset, settings)
-    seed = settings.seed + 7919 * repeat
-    task = LinkPredictionTask(graph, test_fraction=settings.test_fraction, rng=seed)
-    model = build_private_model(model_name, task.train_graph, epsilon, settings, seed)
-    model.fit()
-    result = task.evaluate(model.score_edges)
-    return {"auc": result.auc, "epsilon": epsilon, "dataset": dataset, "model": model_name}
+    return run_cell(
+        _single_cell("link_prediction", model_name, dataset, epsilon, settings, repeat)
+    )
 
 
 def evaluate_node_clustering(
@@ -194,21 +368,11 @@ def evaluate_node_clustering(
     epsilon: float,
     settings: ExperimentSettings,
     repeat: int = 0,
-) -> Dict[str, float]:
+) -> Dict[str, Any]:
     """Train one private model and return clustering MI on ``dataset``."""
-    graph = load_experiment_graph(dataset, settings)
-    seed = settings.seed + 7919 * repeat
-    model = build_private_model(model_name, graph, epsilon, settings, seed)
-    model.fit()
-    clustering = NodeClusteringTask(graph)
-    result = clustering.evaluate(model.embeddings)
-    return {
-        "mi": result.mutual_information,
-        "nmi": result.normalized_mutual_information,
-        "epsilon": epsilon,
-        "dataset": dataset,
-        "model": model_name,
-    }
+    return run_cell(
+        _single_cell("node_clustering", model_name, dataset, epsilon, settings, repeat)
+    )
 
 
 def mean_and_std(values) -> tuple[float, float]:

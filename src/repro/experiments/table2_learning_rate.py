@@ -6,12 +6,16 @@ on PPI, Facebook and Blog and finds 0.1 best.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.core.advsgm import AdvSGM
-from repro.evals.link_prediction import LinkPredictionTask
+from repro.api import ExperimentSpec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import advsgm_config, load_experiment_graph, mean_and_std
+from repro.experiments.runners import (
+    mean_and_std,
+    run_spec,
+    settings_model,
+    spec_from_settings,
+)
 
 #: Learning rates swept in Table II.
 LEARNING_RATES = (0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3)
@@ -21,27 +25,45 @@ TABLE2_DATASETS = ("ppi", "facebook", "blog")
 EPSILON = 6.0
 
 
+def spec(
+    settings: ExperimentSettings,
+    learning_rates=LEARNING_RATES,
+    datasets=TABLE2_DATASETS,
+) -> ExperimentSpec:
+    """One AdvSGM column per swept learning rate (model grid over configs)."""
+    models = [
+        settings_model(
+            "advsgm",
+            settings,
+            label=repr(float(lr)),
+            learning_rate_d=lr,
+            learning_rate_g=lr,
+        )
+        for lr in learning_rates
+    ]
+    return spec_from_settings(
+        "link_prediction", datasets, models, settings, epsilons=(EPSILON,)
+    )
+
+
 def run(
     settings: ExperimentSettings | None = None,
     learning_rates=LEARNING_RATES,
     datasets=TABLE2_DATASETS,
+    workers: int = 1,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Return ``{learning_rate: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
+    rows = run_spec(spec(settings, learning_rates, datasets), workers=workers)
     results: Dict[float, Dict[str, Dict[str, float]]] = {}
     for lr in learning_rates:
         results[lr] = {}
         for dataset in datasets:
-            graph = load_experiment_graph(dataset, settings)
-            aucs: List[float] = []
-            for repeat in range(settings.num_repeats):
-                seed = settings.seed + 7919 * repeat
-                task = LinkPredictionTask(
-                    graph, test_fraction=settings.test_fraction, rng=seed
-                )
-                config = advsgm_config(settings, EPSILON, learning_rate=lr)
-                model = AdvSGM(task.train_graph, config, rng=seed).fit()
-                aucs.append(task.evaluate(model.score_edges).auc)
+            aucs = [
+                r["auc"]
+                for r in rows
+                if r["model"] == repr(float(lr)) and r["dataset"] == dataset
+            ]
             mean, std = mean_and_std(aucs)
             results[lr][dataset] = {"mean": mean, "std": std}
     return results

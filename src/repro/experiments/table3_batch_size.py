@@ -10,12 +10,16 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.core.advsgm import AdvSGM
-from repro.evals.link_prediction import LinkPredictionTask
+from repro.api import ExperimentSpec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import advsgm_config, load_experiment_graph, mean_and_std
+from repro.experiments.runners import (
+    mean_and_std,
+    run_spec,
+    settings_model,
+    spec_from_settings,
+)
 
 #: Batch sizes swept in Table III.
 BATCH_SIZES = (16, 32, 64, 128, 256, 512)
@@ -25,27 +29,39 @@ TABLE3_DATASETS = ("ppi", "facebook", "blog")
 EPSILON = 6.0
 
 
+def spec(
+    settings: ExperimentSettings,
+    batch_sizes=BATCH_SIZES,
+    datasets=TABLE3_DATASETS,
+) -> ExperimentSpec:
+    """One AdvSGM column per swept batch size."""
+    models = [
+        settings_model("advsgm", settings, label=str(int(b)), batch_size=int(b))
+        for b in batch_sizes
+    ]
+    return spec_from_settings(
+        "link_prediction", datasets, models, settings, epsilons=(EPSILON,)
+    )
+
+
 def run(
     settings: ExperimentSettings | None = None,
     batch_sizes=BATCH_SIZES,
     datasets=TABLE3_DATASETS,
+    workers: int = 1,
 ) -> Dict[int, Dict[str, Dict[str, float]]]:
     """Return ``{batch_size: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
+    rows = run_spec(spec(settings, batch_sizes, datasets), workers=workers)
     results: Dict[int, Dict[str, Dict[str, float]]] = {}
     for batch_size in batch_sizes:
         results[batch_size] = {}
         for dataset in datasets:
-            graph = load_experiment_graph(dataset, settings)
-            aucs: List[float] = []
-            for repeat in range(settings.num_repeats):
-                seed = settings.seed + 7919 * repeat
-                task = LinkPredictionTask(
-                    graph, test_fraction=settings.test_fraction, rng=seed
-                )
-                config = advsgm_config(settings, EPSILON, batch_size=batch_size)
-                model = AdvSGM(task.train_graph, config, rng=seed).fit()
-                aucs.append(task.evaluate(model.score_edges).auc)
+            aucs = [
+                r["auc"]
+                for r in rows
+                if r["model"] == str(int(batch_size)) and r["dataset"] == dataset
+            ]
             mean, std = mean_and_std(aucs)
             results[batch_size][dataset] = {"mean": mean, "std": std}
     return results

@@ -6,12 +6,16 @@ utility improving with b, choosing 120 as the default.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.core.advsgm import AdvSGM
-from repro.evals.link_prediction import LinkPredictionTask
+from repro.api import ExperimentSpec
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import advsgm_config, load_experiment_graph, mean_and_std
+from repro.experiments.runners import (
+    mean_and_std,
+    run_spec,
+    settings_model,
+    spec_from_settings,
+)
 
 #: Upper bounds swept in Table IV.
 BOUNDS = (40.0, 60.0, 80.0, 100.0, 120.0, 140.0)
@@ -21,27 +25,41 @@ TABLE4_DATASETS = ("ppi", "facebook", "blog")
 EPSILON = 6.0
 
 
+def spec(
+    settings: ExperimentSettings,
+    bounds=BOUNDS,
+    datasets=TABLE4_DATASETS,
+) -> ExperimentSpec:
+    """One AdvSGM column per swept constrained-sigmoid bound."""
+    models = [
+        settings_model(
+            "advsgm", settings, label=repr(float(b)), sigmoid_b=float(b)
+        )
+        for b in bounds
+    ]
+    return spec_from_settings(
+        "link_prediction", datasets, models, settings, epsilons=(EPSILON,)
+    )
+
+
 def run(
     settings: ExperimentSettings | None = None,
     bounds=BOUNDS,
     datasets=TABLE4_DATASETS,
+    workers: int = 1,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Return ``{b: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
+    rows = run_spec(spec(settings, bounds, datasets), workers=workers)
     results: Dict[float, Dict[str, Dict[str, float]]] = {}
     for bound in bounds:
         results[bound] = {}
         for dataset in datasets:
-            graph = load_experiment_graph(dataset, settings)
-            aucs: List[float] = []
-            for repeat in range(settings.num_repeats):
-                seed = settings.seed + 7919 * repeat
-                task = LinkPredictionTask(
-                    graph, test_fraction=settings.test_fraction, rng=seed
-                )
-                config = advsgm_config(settings, EPSILON, sigmoid_b=bound)
-                model = AdvSGM(task.train_graph, config, rng=seed).fit()
-                aucs.append(task.evaluate(model.score_edges).auc)
+            aucs = [
+                r["auc"]
+                for r in rows
+                if r["model"] == repr(float(bound)) and r["dataset"] == dataset
+            ]
             mean, std = mean_and_std(aucs)
             results[bound][dataset] = {"mean": mean, "std": std}
     return results

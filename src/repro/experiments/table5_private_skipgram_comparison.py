@@ -13,14 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
-from repro.evals.clustering import NodeClusteringTask
-from repro.evals.link_prediction import LinkPredictionTask
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runners import (
-    build_nonprivate_model,
-    build_private_model,
-    load_experiment_graph,
-)
+from repro.experiments.runners import run_spec, spec_from_settings
 
 #: Datasets used for the AUC columns of Table V.
 AUC_DATASETS = ("ppi", "facebook", "blog")
@@ -32,67 +26,56 @@ PRIVATE_VARIANTS = ("DP-SGM", "DP-ASGM", "AdvSGM")
 NONPRIVATE_VARIANTS = ("SGM(No DP)", "AdvSGM(No DP)")
 
 
-def _auc_for(model, task: LinkPredictionTask) -> float:
-    model.fit()
-    return task.evaluate(model.score_edges).auc
-
-
-def _mi_for(model, graph) -> float:
-    clustering = NodeClusteringTask(graph)
-    return clustering.evaluate(model.embeddings).mutual_information
-
-
 def run(
     settings: ExperimentSettings | None = None,
     epsilons: Iterable[float] | None = None,
     auc_datasets=AUC_DATASETS,
     mi_datasets=MI_DATASETS,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Return ``{row_label: {"auc/<ds>": value, "mi/<ds>": value}}``.
 
     Row labels follow the paper: ``"SGM(No DP)"``, ``"AdvSGM(No DP)"`` and
-    ``"<model>(eps=<e>)"`` for the private variants.
+    ``"<model>(eps=<e>)"`` for the private variants.  Internally the table is
+    four declarative specs (AUC/MI x non-private/private) whose result rows
+    are folded back into the paper's row layout.
     """
     settings = settings or ExperimentSettings.quick()
     epsilons = tuple(epsilons) if epsilons is not None else settings.epsilons
+
+    # (task, datasets, variants, epsilons); empty dataset tuples drop the
+    # corresponding columns instead of building an invalid spec.
+    grids = [
+        ("link_prediction", auc_datasets, NONPRIVATE_VARIANTS, (None,)),
+        ("node_clustering", mi_datasets, NONPRIVATE_VARIANTS, (None,)),
+        ("link_prediction", auc_datasets, PRIVATE_VARIANTS, epsilons),
+        ("node_clustering", mi_datasets, PRIVATE_VARIANTS, epsilons),
+    ]
+    specs = [
+        spec_from_settings(task, datasets, variants, settings,
+                           epsilons=eps, repeats=1)
+        for task, datasets, variants, eps in grids
+        if datasets
+    ]
+    cells: List[Dict[str, float]] = []
+    for spec in specs:
+        cells.extend(run_spec(spec, workers=workers))
+
+    def row_label(cell: Dict[str, float]) -> str:
+        if cell["epsilon"] is None:
+            return cell["model"]
+        return f"{cell['model']}(eps={cell['epsilon']:g})"
+
     rows: Dict[str, Dict[str, float]] = {}
-
-    # Non-private reference rows.
+    # Establish the paper's row order first, then fill values.
     for variant in NONPRIVATE_VARIANTS:
-        row: Dict[str, float] = {}
-        for dataset in auc_datasets:
-            graph = load_experiment_graph(dataset, settings)
-            task = LinkPredictionTask(
-                graph, test_fraction=settings.test_fraction, rng=settings.seed
-            )
-            model = build_nonprivate_model(variant, task.train_graph, settings, settings.seed)
-            row[f"auc/{dataset}"] = _auc_for(model, task)
-        for dataset in mi_datasets:
-            graph = load_experiment_graph(dataset, settings)
-            model = build_nonprivate_model(variant, graph, settings, settings.seed)
-            model.fit()
-            row[f"mi/{dataset}"] = _mi_for(model, graph)
-        rows[variant] = row
-
-    # Private rows per epsilon.
+        rows[variant] = {}
     for epsilon in epsilons:
         for variant in PRIVATE_VARIANTS:
-            row = {}
-            for dataset in auc_datasets:
-                graph = load_experiment_graph(dataset, settings)
-                task = LinkPredictionTask(
-                    graph, test_fraction=settings.test_fraction, rng=settings.seed
-                )
-                model = build_private_model(
-                    variant, task.train_graph, epsilon, settings, settings.seed
-                )
-                row[f"auc/{dataset}"] = _auc_for(model, task)
-            for dataset in mi_datasets:
-                graph = load_experiment_graph(dataset, settings)
-                model = build_private_model(variant, graph, epsilon, settings, settings.seed)
-                model.fit()
-                row[f"mi/{dataset}"] = _mi_for(model, graph)
-            rows[f"{variant}(eps={epsilon:g})"] = row
+            rows[f"{variant}(eps={epsilon:g})"] = {}
+    for cell in cells:
+        column = "auc" if cell["task"] == "link_prediction" else "mi"
+        rows[row_label(cell)][f"{column}/{cell['dataset']}"] = cell[column]
     return rows
 
 

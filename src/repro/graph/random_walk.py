@@ -99,6 +99,7 @@ def _pairs_from_ragged_matrix(
     window_size: int,
     centre_lo: int = 0,
     centre_hi: int | None = None,
+    dtype: np.dtype = np.int64,
 ) -> np.ndarray:
     """Index-grid pair extraction handling ``-1`` padding (ragged corpora).
 
@@ -117,10 +118,12 @@ def _pairs_from_ragged_matrix(
     contexts = matrix[:, np.where(in_range, context_idx, 0)]
     centres = np.broadcast_to(matrix[:, centre_lo:centre_hi, None], contexts.shape)
     valid = in_range[None, :, :] & (centres >= 0) & (contexts >= 0)
-    return np.column_stack([centres[valid], contexts[valid]])
+    return np.column_stack([centres[valid], contexts[valid]]).astype(dtype, copy=False)
 
 
-def _pairs_from_full_matrix(matrix: np.ndarray, window_size: int) -> np.ndarray:
+def _pairs_from_full_matrix(
+    matrix: np.ndarray, window_size: int, dtype: np.dtype = np.int64
+) -> np.ndarray:
     """Stride-tricks pair extraction for matrices without ``-1`` padding.
 
     Interior centres (those with a complete window on both sides) are read
@@ -132,9 +135,9 @@ def _pairs_from_full_matrix(matrix: np.ndarray, window_size: int) -> np.ndarray:
     w = min(window_size, length - 1)
     interior = length - 2 * w
     if interior <= 0:
-        return _pairs_from_ragged_matrix(matrix, window_size)
+        return _pairs_from_ragged_matrix(matrix, window_size, dtype=dtype)
     windows = np.lib.stride_tricks.sliding_window_view(matrix, 2 * w + 1, axis=1)
-    block = np.empty((rows, interior, 2 * w, 2), dtype=np.int64)
+    block = np.empty((rows, interior, 2 * w, 2), dtype=dtype)
     block[..., 0] = windows[:, :, w, None]
     block[:, :, :w, 1] = windows[:, :, :w]
     block[:, :, w:, 1] = windows[:, :, w + 1 :]
@@ -143,10 +146,14 @@ def _pairs_from_full_matrix(matrix: np.ndarray, window_size: int) -> np.ndarray:
         # Left boundary: centres 0..w-1 only reach contexts < 2w; right
         # boundary mirrors it.  Both slices are exactly wide enough.
         pieces.append(
-            _pairs_from_ragged_matrix(matrix[:, : 2 * w], w, centre_lo=0, centre_hi=w)
+            _pairs_from_ragged_matrix(
+                matrix[:, : 2 * w], w, centre_lo=0, centre_hi=w, dtype=dtype
+            )
         )
         pieces.append(
-            _pairs_from_ragged_matrix(matrix[:, -2 * w :], w, centre_lo=w, centre_hi=2 * w)
+            _pairs_from_ragged_matrix(
+                matrix[:, -2 * w :], w, centre_lo=w, centre_hi=2 * w, dtype=dtype
+            )
         )
     return np.concatenate(pieces, axis=0)
 
@@ -157,6 +164,12 @@ def walks_to_pairs(walks: WalkCorpus, window_size: int = 5) -> np.ndarray:
     Accepts either the list-of-lists corpus produced by :func:`random_walks`
     or a ``-1``-padded walk matrix straight from the
     :class:`~repro.graph.walk_engine.WalkEngine`.
+
+    Pair extraction is memory-bandwidth-bound, so when every node id fits in
+    32 bits (``num_nodes < 2**31`` — always, in practice) the pairs are
+    emitted as int32, halving the size of the materialised corpus.  NumPy
+    fancy indexing accepts int32 indices, so downstream trainers are
+    unaffected.
     """
     if window_size <= 0:
         raise ValueError(f"window_size must be positive, got {window_size}")
@@ -168,11 +181,12 @@ def walks_to_pairs(walks: WalkCorpus, window_size: int = 5) -> np.ndarray:
         matrix = _pad_walks(walks)
     if matrix.size == 0 or matrix.shape[1] < 2:
         return np.zeros((0, 2), dtype=np.int64)
+    dtype = np.int32 if matrix.max() < 2**31 else np.int64
     chunks = []
     for start in range(0, matrix.shape[0], _PAIR_CHUNK_ROWS):
         chunk = matrix[start : start + _PAIR_CHUNK_ROWS]
         if chunk.min() >= 0:
-            chunks.append(_pairs_from_full_matrix(chunk, window_size))
+            chunks.append(_pairs_from_full_matrix(chunk, window_size, dtype=dtype))
         else:
-            chunks.append(_pairs_from_ragged_matrix(chunk, window_size))
+            chunks.append(_pairs_from_ragged_matrix(chunk, window_size, dtype=dtype))
     return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]

@@ -28,6 +28,7 @@ def fit_link_prediction_head(
     history: TrainingHistory,
     rng: np.random.Generator,
     test_fraction: float = 0.1,
+    callbacks=(),
 ) -> LoopResult:
     """Train ``weight`` (in place) so ``features @ weight`` scores edges well.
 
@@ -73,5 +74,5 @@ def fit_link_prediction_head(
     def epoch_end(epoch: int, losses) -> None:
         history.record("loss", sum(losses))
 
-    loop = TrainingLoop(num_epochs, steps_per_epoch)
+    loop = TrainingLoop(num_epochs, steps_per_epoch, callbacks=callbacks)
     return loop.run(step, epoch_end)

@@ -1,0 +1,74 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def run_cli(*args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+class TestCli:
+    def test_datasets_list(self):
+        proc = run_cli("datasets", "list")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("ppi", "facebook", "wiki", "blog", "epinions", "dblp"):
+            assert name in proc.stdout
+
+    def test_models_list(self):
+        proc = run_cli("models", "list")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("advsgm", "dpsgm", "gap", "dpar", "deepwalk"):
+            assert name in proc.stdout
+
+    def test_train_two_epochs(self, tmp_path):
+        out = tmp_path / "emb.npz"
+        proc = run_cli(
+            "train", "--model", "advsgm", "--dataset", "ppi",
+            "--epsilon", "6", "--scale", "0.1", "--seed", "0",
+            "--set", "num_epochs=2", "--set", "discriminator_steps=2",
+            "--set", "batch_size=4", "--set", "embedding_dim=8",
+            "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "privacy spent" in proc.stdout
+        embeddings = np.load(out)["embeddings"]
+        assert embeddings.shape == (100, 8)
+
+    def test_train_rejects_epsilon_for_nonprivate(self):
+        proc = run_cli("train", "--model", "deepwalk", "--dataset", "ppi",
+                       "--epsilon", "1")
+        assert proc.returncode != 0
+        assert "not private" in proc.stderr
+
+    def test_unknown_config_field(self):
+        proc = run_cli("train", "--model", "advsgm", "--dataset", "ppi",
+                       "--set", "bogus=1")
+        assert proc.returncode != 0
+        assert "unknown config field" in proc.stderr
+
+    def test_experiment_fig3_smoke_parallel(self):
+        proc = run_cli(
+            "experiment", "fig3", "--preset", "smoke", "--dataset", "ppi",
+            "--models", "AdvSGM", "--epsilons", "1", "--workers", "2",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Fig. 3" in proc.stdout
+        assert "AdvSGM" in proc.stdout
