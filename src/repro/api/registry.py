@@ -150,6 +150,17 @@ def get_entry(name: str) -> ModelEntry:
     return _REGISTRY[key]
 
 
+def config_field_names(name: str) -> Tuple[str, ...]:
+    """Sorted config-dataclass field names of a registered model.
+
+    The CLI uses this to translate feature flags (``--stream-pairs``,
+    ``--walk-workers``) into config overrides only for models whose config
+    actually has the field, failing with a one-line message otherwise.
+    """
+    entry = get_entry(name)
+    return tuple(sorted(f.name for f in dataclasses.fields(entry.config_cls)))
+
+
 def make_model(
     name: str,
     *,

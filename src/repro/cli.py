@@ -37,9 +37,43 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.api.registry import get_entry, list_models, make_model
+from repro.api.registry import config_field_names, get_entry, list_models, make_model
 from repro.graph.datasets import get_spec as get_dataset_spec
 from repro.graph.datasets import list_datasets, load_dataset
+
+
+def _entry_or_exit(name: str):
+    """Resolve a registry entry, exiting with a one-line message if unknown."""
+    try:
+        return get_entry(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+
+def _load_dataset_or_exit(name: str, scale: float, seed: Any):
+    """Load a dataset, exiting with a one-line message on bad name/params."""
+    try:
+        return load_dataset(name, scale=scale, seed=seed)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _check_dataset_or_exit(name: str) -> None:
+    """Validate a dataset name early, exiting with a one-line message."""
+    try:
+        get_dataset_spec(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+
+def _make_model_or_exit(name: str, **kwargs):
+    """Construct a model, exiting with a one-line message on config errors."""
+    try:
+        return make_model(name, **kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid configuration for model {name!r}: {exc}")
 
 
 def _coerce(value: str, target: Any) -> Any:
@@ -61,7 +95,7 @@ def _coerce(value: str, target: Any) -> Any:
 
 def _parse_overrides(model_name: str, pairs: Sequence[str]) -> Dict[str, Any]:
     """Turn ``field=value`` strings into typed config overrides."""
-    entry = get_entry(model_name)
+    entry = _entry_or_exit(model_name)
     defaults = {f.name: f for f in dataclasses.fields(entry.config_cls)}
     overrides: Dict[str, Any] = {}
     for pair in pairs:
@@ -127,14 +161,39 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _streaming_overrides(args: argparse.Namespace, model_name: str) -> Dict[str, Any]:
+    """Translate the streaming/sharding flags into config overrides.
+
+    Each flag maps onto a config field of the walk-corpus models; passing one
+    for a model without the field is a one-line error, not a traceback.
+    """
+    fields = set(config_field_names(model_name))
+    overrides: Dict[str, Any] = {}
+    for flag, field_name, value in (
+        ("--stream-pairs", "pair_streaming", True if args.stream_pairs else None),
+        ("--chunk-walks", "stream_chunk_walks", args.chunk_walks),
+        ("--walk-workers", "walk_workers", args.walk_workers),
+    ):
+        if value is None:
+            continue
+        if field_name not in fields:
+            raise SystemExit(
+                f"{flag} is not supported by model {model_name!r} "
+                f"(no {field_name!r} config field)"
+            )
+        overrides[field_name] = value
+    return overrides
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    entry = get_entry(args.model)
+    entry = _entry_or_exit(args.model)
     overrides = _parse_overrides(args.model, args.set or [])
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    overrides.update(_streaming_overrides(args, entry.name))
+    graph = _load_dataset_or_exit(args.dataset, args.scale, args.seed)
     epsilon = args.epsilon if entry.private else None
     if args.epsilon is not None and not entry.private:
         raise SystemExit(f"model {entry.name!r} is not private; drop --epsilon")
-    model = make_model(
+    model = _make_model_or_exit(
         entry.name, epsilon=epsilon, graph=graph, rng=args.seed, **overrides
     )
     print(f"training {entry.name} on {args.dataset} "
@@ -162,7 +221,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         evaluate_node_clustering,
     )
 
-    entry = get_entry(args.model)
+    entry = _entry_or_exit(args.model)
+    _check_dataset_or_exit(args.dataset)
     settings = ExperimentSettings.preset(args.preset)
     if args.scale is not None:
         settings = dataclasses.replace(settings, dataset_scale=args.scale)
@@ -213,6 +273,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.dataset:
         if args.name == "fig2":
             raise SystemExit("fig2 runs on its fixed dataset panel")
+        for dataset in args.dataset:
+            _check_dataset_or_exit(dataset)
         key = "auc_datasets" if args.name == "table5" else "datasets"
         kwargs[key] = tuple(args.dataset)
         if args.name == "table5":
@@ -223,6 +285,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.models:
         if args.name not in ("fig3", "fig4"):
             raise SystemExit(f"--models only applies to fig3/fig4, not {args.name}")
+        for model in args.models:
+            _entry_or_exit(model)
         kwargs["models"] = tuple(args.models)
     if args.epsilons:
         if args.name not in ("fig3", "fig4", "table5"):
@@ -260,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=2025, help="root seed")
     p_train.add_argument("--set", action="append", metavar="FIELD=VALUE",
                          help="override a config field (repeatable)")
+    p_train.add_argument("--stream-pairs", action="store_true",
+                         help="stream walk pairs into the trainer instead of "
+                              "materialising the corpus (walk-corpus models)")
+    p_train.add_argument("--chunk-walks", type=int, default=None,
+                         help="walk rows per streamed pair chunk")
+    p_train.add_argument("--walk-workers", type=int, default=None,
+                         help="process-pool size for sharded walk generation")
     p_train.add_argument("--out", help="save embeddings to this .npz file")
     p_train.set_defaults(func=_cmd_train)
 

@@ -26,6 +26,12 @@ class AdvSGMConfig:
         Target privacy budget.  Training stops once the RDP accountant's
         implied failure probability at this epsilon exceeds ``delta``
         (Algorithm 3, lines 9-11).
+    batch_size:
+        Positive edges ``B`` per discriminator batch.  The
+        :class:`~repro.graph.sampling.EdgeSampler` clamps the draw to the
+        graph's edge count, and the accountant is charged with the sampling
+        probabilities of the *actual* take, so a ``batch_size`` larger than
+        ``|E|`` degrades gracefully instead of over-charging the budget.
     dp_enabled:
         Set to ``False`` to train the same architecture without any noise or
         accounting — the "AdvSGM (No DP)" configuration of Table V.

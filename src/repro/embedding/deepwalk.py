@@ -2,21 +2,25 @@
 
 DeepWalk (Perozzi et al., 2014) treats truncated random walks as sentences and
 trains a skip-gram model over (centre, context) pairs drawn from a sliding
-window.  This implementation reuses the :class:`SkipGramModel` gradient code
-but feeds it walk-derived pairs instead of edge samples.
+window.  Pairs reach the trainer through a :class:`~repro.train.PairSource`:
+the default materialises the corpus once (:class:`~repro.train.ArrayPairSource`,
+bit-for-bit the historical behaviour), while ``pair_streaming=True`` streams
+shuffled chunks from :func:`repro.graph.random_walk.iter_walk_pairs` so the
+peak pair-buffer is bounded by the chunk size — and, as a side effect, every
+epoch trains on freshly sampled walks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
 from repro.graph.graph import Graph
-from repro.graph.random_walk import walks_to_pairs
+from repro.graph.random_walk import iter_walk_pairs, walks_to_pairs
 from repro.graph.sampling import (
     AliasTable,
     check_negative_distribution,
@@ -24,7 +28,7 @@ from repro.graph.sampling import (
 )
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
-from repro.train import TrainingLoop
+from repro.train import ArrayPairSource, PairSource, StreamingPairSource, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
@@ -32,7 +36,14 @@ from repro.utils.validation import check_positive
 
 @dataclass
 class DeepWalkConfig:
-    """Hyper-parameters of DeepWalk."""
+    """Hyper-parameters of DeepWalk.
+
+    ``pair_streaming`` opts into the streaming pair pipeline (chunked
+    ``iter_walk_pairs`` feeding a ``StreamingPairSource``; walks are resampled
+    every epoch).  ``stream_chunk_walks`` is the walk rows per streamed chunk,
+    which bounds the pair buffer.  ``walk_workers > 1`` shards corpus
+    generation across a process pool (derived per-pass seeds) in both modes.
+    """
 
     embedding_dim: int = 128
     num_walks: int = 5
@@ -43,10 +54,14 @@ class DeepWalkConfig:
     num_epochs: int = 2
     batch_size: int = 512
     negative_distribution: str = "uniform"
+    pair_streaming: bool = False
+    stream_chunk_walks: int = 4096
+    walk_workers: int = 1
 
     def __post_init__(self) -> None:
         for name in ("embedding_dim", "num_walks", "walk_length", "window_size",
-                     "num_negatives", "num_epochs", "batch_size"):
+                     "num_negatives", "num_epochs", "batch_size",
+                     "stream_chunk_walks", "walk_workers"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         check_positive(self.learning_rate, "learning_rate")
@@ -102,62 +117,90 @@ class DeepWalk(EstimatorMixin):
         """Released node embeddings."""
         return self.w_in
 
-    def _generate_pairs(self) -> np.ndarray:
-        """Walk corpus straight from the vectorized engine (matrix form)."""
-        corpus = self.graph.walk_engine().walk_corpus(
-            self.config.num_walks, self.config.walk_length, rng=self._walk_rng
-        )
-        return walks_to_pairs(corpus, window_size=self.config.window_size)
+    def _walk_bias(self) -> Dict[str, float]:
+        """Second-order bias kwargs for the walk engine (node2vec overrides)."""
+        return {}
 
-    def _train_on_pairs(self, pairs: np.ndarray) -> float:
-        """One pass of mini-batch skip-gram updates over ``pairs``."""
+    def _make_pair_source(self) -> PairSource:
+        """Build the configured pair pipeline (materialised or streaming)."""
         cfg = self.config
-        order = self._train_rng.permutation(pairs.shape[0])
+        bias = self._walk_bias()
+        if cfg.pair_streaming:
+            return StreamingPairSource(
+                lambda: iter_walk_pairs(
+                    self.graph,
+                    cfg.num_walks,
+                    cfg.walk_length,
+                    window_size=cfg.window_size,
+                    chunk_walks=cfg.stream_chunk_walks,
+                    rng=self._walk_rng,
+                    workers=cfg.walk_workers,
+                    **bias,
+                ),
+                batch_size=cfg.batch_size,
+            )
+        corpus = self.graph.walk_engine().walk_corpus(
+            cfg.num_walks,
+            cfg.walk_length,
+            rng=self._walk_rng,
+            workers=cfg.walk_workers,
+            **bias,
+        )
+        pairs = walks_to_pairs(corpus, window_size=cfg.window_size)
+        return ArrayPairSource(pairs, batch_size=cfg.batch_size)
+
+    def _train_on_batch(self, batch: np.ndarray) -> float:
+        """One mini-batch of skip-gram updates; returns the batch loss."""
+        cfg = self.config
+        centres, contexts = batch[:, 0], batch[:, 1]
+        negatives = self._draw_negatives(batch.shape[0], cfg.num_negatives)
+
+        v_c = self.w_in[centres]
+        v_o = self.w_out[contexts]
+        pos_scores = np.einsum("ij,ij->i", v_c, v_o)
+        pos_coeff = 1.0 - sigmoid(pos_scores)
+
+        grad_centre = pos_coeff[:, None] * v_o
+        grad_context = pos_coeff[:, None] * v_c
+        neg_vectors = self.w_out[negatives]  # (B, k, dim)
+        neg_scores = np.einsum("ij,ikj->ik", v_c, neg_vectors)
+        neg_coeff = -sigmoid(neg_scores)
+        grad_centre += np.einsum("ik,ikj->ij", neg_coeff, neg_vectors)
+
+        lr = cfg.learning_rate
+        np.add.at(self.w_in, centres, lr * grad_centre)
+        np.add.at(self.w_out, contexts, lr * grad_context)
+        np.add.at(
+            self.w_out,
+            negatives.ravel(),
+            lr * (neg_coeff[:, :, None] * v_c[:, None, :]).reshape(-1, v_c.shape[1]),
+        )
+
+        with np.errstate(over="ignore"):
+            batch_obj = np.log(sigmoid(pos_scores) + 1e-12).sum() + np.log(
+                sigmoid(-neg_scores) + 1e-12
+            ).sum()
+        return float(-batch_obj / batch.shape[0])
+
+    def _train_one_pass(self, source: PairSource) -> float:
+        """One epoch of mini-batch updates over the source's batches."""
         total_loss = 0.0
         num_batches = 0
-        for start in range(0, pairs.shape[0], cfg.batch_size):
-            batch = pairs[order[start : start + cfg.batch_size]]
-            centres, contexts = batch[:, 0], batch[:, 1]
-            negatives = self._draw_negatives(batch.shape[0], cfg.num_negatives)
-
-            v_c = self.w_in[centres]
-            v_o = self.w_out[contexts]
-            pos_scores = np.einsum("ij,ij->i", v_c, v_o)
-            pos_coeff = 1.0 - sigmoid(pos_scores)
-
-            grad_centre = pos_coeff[:, None] * v_o
-            grad_context = pos_coeff[:, None] * v_c
-            neg_vectors = self.w_out[negatives]  # (B, k, dim)
-            neg_scores = np.einsum("ij,ikj->ik", v_c, neg_vectors)
-            neg_coeff = -sigmoid(neg_scores)
-            grad_centre += np.einsum("ik,ikj->ij", neg_coeff, neg_vectors)
-
-            lr = cfg.learning_rate
-            np.add.at(self.w_in, centres, lr * grad_centre)
-            np.add.at(self.w_out, contexts, lr * grad_context)
-            np.add.at(
-                self.w_out,
-                negatives.ravel(),
-                lr * (neg_coeff[:, :, None] * v_c[:, None, :]).reshape(-1, v_c.shape[1]),
-            )
-
-            with np.errstate(over="ignore"):
-                batch_obj = np.log(sigmoid(pos_scores) + 1e-12).sum() + np.log(
-                    sigmoid(-neg_scores) + 1e-12
-                ).sum()
-            total_loss += float(-batch_obj / batch.shape[0])
+        for batch in source.batches(self._train_rng):
+            total_loss += self._train_on_batch(batch)
             num_batches += 1
-        return total_loss / max(1, num_batches)
+        if num_batches == 0:
+            raise RuntimeError("random walks produced no training pairs")
+        return total_loss / num_batches
 
     def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DeepWalk":
         """Generate walks and train for the configured number of epochs."""
         self._bind_on_fit(graph)
-        pairs = self._generate_pairs()
-        if pairs.shape[0] == 0:
-            raise RuntimeError("random walks produced no training pairs")
+        source = self._make_pair_source()
+        self.pair_source_ = source
         loop = TrainingLoop(self.config.num_epochs, 1, callbacks=callbacks)
         loop.run(
-            lambda epoch, step: self._train_on_pairs(pairs),
+            lambda epoch, step: self._train_one_pass(source),
             lambda epoch, losses: self.history.record("loss", losses[0]),
         )
         return self

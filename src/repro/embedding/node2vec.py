@@ -3,21 +3,19 @@
 node2vec (Grover & Leskovec, 2016) generalises DeepWalk with two parameters:
 ``p`` (return) and ``q`` (in-out) that bias the walk towards BFS- or DFS-like
 exploration.  The training procedure is identical to DeepWalk once the walk
-corpus is produced, so this class subclasses :class:`DeepWalk` and only swaps
-the walk generator.
+corpus is produced, so this class subclasses :class:`DeepWalk` and only
+injects the bias parameters into the shared pair pipeline (materialised or
+streaming, see :meth:`DeepWalk._make_pair_source`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from repro.api.registry import register_model
 from repro.embedding.deepwalk import DeepWalk, DeepWalkConfig
 from repro.graph.graph import Graph
-from repro.graph.random_walk import walks_to_pairs
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
@@ -51,9 +49,6 @@ class Node2Vec(DeepWalk):
     ) -> None:
         super().__init__(graph, config or Node2VecConfig(), rng=rng)
 
-    def _generate_pairs(self) -> np.ndarray:
+    def _walk_bias(self) -> Dict[str, float]:
         cfg: Node2VecConfig = self.config  # type: ignore[assignment]
-        corpus = self.graph.walk_engine().walk_corpus(
-            cfg.num_walks, cfg.walk_length, p=cfg.p, q=cfg.q, rng=self._walk_rng
-        )
-        return walks_to_pairs(corpus, window_size=cfg.window_size)
+        return {"p": cfg.p, "q": cfg.q}

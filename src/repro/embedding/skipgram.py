@@ -26,7 +26,7 @@ from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler, SampleBatch, check_negative_distribution
 from repro.nn.functional import log_sigmoid, sigmoid
 from repro.nn.init import uniform_embedding
-from repro.train import TrainingLoop
+from repro.train import SampledBatchSource, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
@@ -107,6 +107,10 @@ class SkipGramModel(EstimatorMixin):
             rng=sample_rng,
             negative_distribution=self.config.negative_distribution,
         )
+        # The LINE-style trainer consumes its edge batches through the same
+        # PairSource seam as the walk-corpus trainers; each pulled batch is
+        # exactly one sampler draw, so the stream order is unchanged.
+        self.pair_source_ = SampledBatchSource(self.sampler.sample)
 
     # ------------------------------------------------------------------
     # embedding access
@@ -170,15 +174,19 @@ class SkipGramModel(EstimatorMixin):
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def train_step(self) -> float:
+    def train_step(self, batch: Optional[SampleBatch] = None) -> float:
         """One batch of gradient-ascent updates; returns the batch loss.
+
+        ``batch`` defaults to one fresh sampler draw (the historical
+        behaviour); :meth:`fit` passes batches pulled from ``pair_source_``.
 
         Updates follow the usual skip-gram/SGD convention: per-pair gradients
         are accumulated into their embedding rows and applied with the full
         learning rate (no division by the batch size), which is how word2vec,
         LINE and DeepWalk implementations behave.
         """
-        batch = self.sampler.sample()
+        if batch is None:
+            batch = self.sampler.sample()
         loss = self.batch_loss(batch)
         grad_in, touched_in, grad_out, touched_out = self._accumulate_gradients(batch)
         lr = self.config.learning_rate
@@ -198,7 +206,8 @@ class SkipGramModel(EstimatorMixin):
         def epoch_end(epoch: int, losses) -> None:
             self.history.record("loss", sum(losses) / self.config.batches_per_epoch)
 
-        loop.run(lambda epoch, step: self.train_step(), epoch_end)
+        batches = self.pair_source_.batches()
+        loop.run(lambda epoch, step: self.train_step(next(batches)), epoch_end)
         return self
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:

@@ -94,6 +94,13 @@ class Graph:
         self._build_adjacency()
         self._walk_engine = None
 
+    def __getstate__(self) -> Dict:
+        # The cached walk engine (and its node2vec tables) can dwarf the graph
+        # itself; worker processes rebuild it lazily instead of unpickling it.
+        state = self.__dict__.copy()
+        state["_walk_engine"] = None
+        return state
+
     def _build_adjacency(self) -> None:
         """Build CSR offsets/neighbours and per-node degrees with array ops.
 

@@ -17,18 +17,21 @@ detail — downstream trainers shuffle pairs before batching anyway.
 from __future__ import annotations
 
 from itertools import chain
-from typing import List, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.utils.rng import RngLike
+from repro.utils.rng import RngLike, ensure_rng, independent_child
 
 WalkCorpus = Union[np.ndarray, Sequence[Sequence[int]]]
 
 #: Walk rows processed per chunk in ``walks_to_pairs`` — bounds the peak size
 #: of the (rows, walk_length, 2 * window) index grid to a few hundred MB.
 _PAIR_CHUNK_ROWS = 16384
+
+#: Default walk rows per yielded chunk in ``iter_walk_pairs``.
+_STREAM_CHUNK_WALKS = 4096
 
 
 def random_walks(
@@ -69,7 +72,16 @@ def node2vec_walks(
 
 
 def matrix_to_walks(matrix: np.ndarray) -> List[List[int]]:
-    """Convert a ``-1``-padded walk matrix to the list-of-lists corpus form."""
+    """Convert a ``-1``-padded walk matrix to the list-of-lists corpus form.
+
+    Accepts any integer dtype; rows that are entirely padding become empty
+    walks, and a zero-column matrix yields one empty walk per row.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"walk matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        return [[] for _ in range(matrix.shape[0])]
     valid = matrix >= 0
     lengths = np.where(valid.all(axis=1), matrix.shape[1], np.argmin(valid, axis=1))
     return [row[:n].tolist() for row, n in zip(matrix, lengths)]
@@ -158,11 +170,22 @@ def _pairs_from_full_matrix(
     return np.concatenate(pieces, axis=0)
 
 
+def _chunk_to_pairs(
+    chunk: np.ndarray, window_size: int, dtype: np.dtype
+) -> np.ndarray:
+    """Pair extraction for one walk-matrix chunk (full or ragged dispatch)."""
+    if chunk.size == 0 or chunk.shape[1] < 2:
+        return np.zeros((0, 2), dtype=dtype)
+    if chunk.min() >= 0:
+        return _pairs_from_full_matrix(chunk, window_size, dtype=dtype)
+    return _pairs_from_ragged_matrix(chunk, window_size, dtype=dtype)
+
+
 def walks_to_pairs(walks: WalkCorpus, window_size: int = 5) -> np.ndarray:
     """Convert walk corpora to (centre, context) skip-gram training pairs.
 
     Accepts either the list-of-lists corpus produced by :func:`random_walks`
-    or a ``-1``-padded walk matrix straight from the
+    or a ``-1``-padded walk matrix (any integer dtype) straight from the
     :class:`~repro.graph.walk_engine.WalkEngine`.
 
     Pair extraction is memory-bandwidth-bound, so when every node id fits in
@@ -182,11 +205,65 @@ def walks_to_pairs(walks: WalkCorpus, window_size: int = 5) -> np.ndarray:
     if matrix.size == 0 or matrix.shape[1] < 2:
         return np.zeros((0, 2), dtype=np.int64)
     dtype = np.int32 if matrix.max() < 2**31 else np.int64
-    chunks = []
-    for start in range(0, matrix.shape[0], _PAIR_CHUNK_ROWS):
-        chunk = matrix[start : start + _PAIR_CHUNK_ROWS]
-        if chunk.min() >= 0:
-            chunks.append(_pairs_from_full_matrix(chunk, window_size, dtype=dtype))
-        else:
-            chunks.append(_pairs_from_ragged_matrix(chunk, window_size, dtype=dtype))
+    chunks = [
+        _chunk_to_pairs(matrix[start : start + _PAIR_CHUNK_ROWS], window_size, dtype)
+        for start in range(0, matrix.shape[0], _PAIR_CHUNK_ROWS)
+    ]
     return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]
+
+
+def iter_walk_pairs(
+    graph: Graph,
+    num_walks: int,
+    walk_length: int,
+    window_size: int = 5,
+    *,
+    p: float = 1.0,
+    q: float = 1.0,
+    chunk_walks: int = _STREAM_CHUNK_WALKS,
+    shuffle: bool = True,
+    rng: RngLike = None,
+    workers: int = 1,
+) -> Iterator[np.ndarray]:
+    """Stream shuffled (centre, context) pair chunks, corpus never materialised.
+
+    The walk stream is generated one corpus pass at a time with exactly the
+    same RNG discipline as :meth:`~repro.graph.walk_engine.WalkEngine.walk_corpus`
+    (shared sequential stream for ``workers=1``, pre-derived per-pass seeds
+    for ``workers > 1``), so for a given seed the union of the yielded chunks
+    is the *same pair multiset* as ``walks_to_pairs(walk_corpus(...))`` — only
+    the emission order differs.  Each pass is sliced into ``chunk_walks``-row
+    blocks, converted to pairs, and (by default) shuffled within the chunk
+    with a generator spawned off ``rng``, which never consumes draws from the
+    walk stream.
+
+    Peak memory is one pass's walk matrix (``num_nodes * walk_length``) plus
+    one chunk of pairs (about ``chunk_walks * walk_length * 2 * window_size``
+    entries) — independent of ``num_walks`` and of the corpus size.
+    """
+    if num_walks <= 0 or walk_length <= 0:
+        raise ValueError("num_walks and walk_length must be positive")
+    if window_size <= 0:
+        raise ValueError(f"window_size must be positive, got {window_size}")
+    if chunk_walks <= 0:
+        raise ValueError(f"chunk_walks must be positive, got {chunk_walks}")
+    engine = graph.walk_engine()
+    rng = ensure_rng(rng)
+    shuffle_rng = independent_child(rng) if shuffle else None
+    dtype = np.int32 if graph.num_nodes < 2**31 else np.int64
+
+    passes = engine.iter_corpus_passes(
+        num_walks, walk_length, p=p, q=q, rng=rng, workers=workers
+    )
+    for matrix in passes:
+        for start in range(0, matrix.shape[0], chunk_walks):
+            pairs = _chunk_to_pairs(
+                matrix[start : start + chunk_walks], window_size, dtype
+            )
+            if pairs.shape[0] == 0:
+                continue
+            if shuffle_rng is not None:
+                pairs = pairs[shuffle_rng.permutation(pairs.shape[0])]
+            yield pairs
+
+

@@ -174,23 +174,45 @@ class EdgeSampler:
         self._rng = ensure_rng(rng)
 
     @property
+    def positive_batch_size(self) -> int:
+        """Positives actually drawn per batch: ``B`` clamped to ``|E|``.
+
+        :meth:`sample` draws without replacement, so it can never return more
+        than ``|E|`` positive edges.  Every probability reported to the RDP
+        accountant is derived from this actual take — charging the configured
+        ``batch_size`` when fewer pairs are drawn would make the accountant
+        disagree with the sampling process it is supposed to describe.
+        """
+        return min(self.batch_size, self.graph.num_edges)
+
+    @property
     def edge_sampling_probability(self) -> float:
-        """Subsampling probability ``B / |E|`` used by the RDP accountant."""
-        return min(1.0, self.batch_size / self.graph.num_edges)
+        """Subsampling probability ``B / |E|`` used by the RDP accountant.
+
+        ``B`` is the *actual* take (:attr:`positive_batch_size`), so the
+        probability is exact even when the configured batch size exceeds the
+        edge count.
+        """
+        return min(1.0, self.positive_batch_size / self.graph.num_edges)
 
     @property
     def node_sampling_probability(self) -> float:
-        """Subsampling probability ``B k / |V|`` used by the RDP accountant."""
+        """Subsampling probability ``B k / |V|`` used by the RDP accountant.
+
+        As with :attr:`edge_sampling_probability`, ``B`` is the actual take:
+        :meth:`sample` pairs each *drawn* positive edge with ``k`` negatives,
+        so ``take * k`` (not ``batch_size * k``) negatives are drawn.
+        """
         return min(
-            1.0, self.batch_size * self.num_negatives / self.graph.num_nodes
+            1.0,
+            self.positive_batch_size * self.num_negatives / self.graph.num_nodes,
         )
 
     def sample(self) -> SampleBatch:
         """Draw one batch: ``B`` positive edges and ``B * k`` negative pairs."""
-        edge_count = self.graph.num_edges
-        take = min(self.batch_size, edge_count)
+        take = self.positive_batch_size
         # Sampling without replacement matches the subsampled-RDP analysis.
-        idx = self._rng.choice(edge_count, size=take, replace=False)
+        idx = self._rng.choice(self.graph.num_edges, size=take, replace=False)
         positive = self.graph.edges[idx].copy()
         # Randomly orient each undirected edge so both endpoints act as the
         # "input" node across batches.

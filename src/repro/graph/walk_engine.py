@@ -13,19 +13,52 @@ For node2vec biasing the engine precomputes a second-order transition table:
 for every directed arc ``(t, v)`` it stores the unnormalised p/q weights of
 ``v``'s neighbours together with their running cumulative sum, so one binary
 search per active walk per step samples the biased next hop.  The table holds
-``sum_v degree(v)^2`` entries — fine for the sparse graphs used here; callers
-with dense hubs should fall back to uniform walks or subsample first.
+``sum_v degree(v)^2`` entries, so on graphs with dense hubs the engine
+automatically falls back to rejection sampling: propose a uniform neighbour,
+accept with probability ``w / w_max`` where ``w`` is the p/q weight — O(2|E|)
+memory regardless of the degree distribution.
+
+``walk_corpus`` can shard its passes across a process pool: per-pass seeds
+are derived from the root generator *before* the fan-out (the same discipline
+as ``repro.experiments.runners.run_spec``), so the sharded corpus is
+deterministic, identical for every worker count, and equal to running the
+same derived-seed passes serially.  The default ``workers=1`` path keeps the
+historical shared-stream behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, ensure_rng
+
+#: Second-order modes accepted by :meth:`WalkEngine.node2vec_walks`.
+SECOND_ORDER_MODES = ("auto", "table", "rejection")
+
+
+def derive_pass_seeds(rng: np.random.Generator, num_passes: int) -> np.ndarray:
+    """Per-pass seeds drawn up front, before any fan-out (run_spec discipline)."""
+    return rng.integers(0, 2**63 - 1, size=num_passes)
+
+
+#: Per-process engine used by the corpus-sharding pool workers; built once per
+#: worker by the pool initializer instead of being pickled with every task.
+_POOL_ENGINE: Optional["WalkEngine"] = None
+
+
+def _init_pool_engine(graph: Graph) -> None:
+    global _POOL_ENGINE
+    _POOL_ENGINE = WalkEngine(graph)
+
+
+def _pool_corpus_pass(args: Tuple[int, int, float, float]) -> np.ndarray:
+    seed, walk_length, p, q = args
+    return _POOL_ENGINE.corpus_pass(seed, walk_length, p=p, q=q)
 
 
 @dataclass(frozen=True)
@@ -59,12 +92,18 @@ class SecondOrderTable:
 class WalkEngine:
     """Vectorized uniform and node2vec walks over a :class:`Graph`."""
 
+    #: Above this many second-order table entries (``sum_v degree(v)^2``) the
+    #: ``"auto"`` mode switches to rejection sampling instead of building the
+    #: table.  2**25 entries keep the table under ~0.5 GB.
+    second_order_entry_limit: int = 2**25
+
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         self._offsets = graph.csr_offsets
         self._neighbours = graph.csr_neighbours
         self._degrees = graph.degrees
         self._tables: Dict[Tuple[float, float], SecondOrderTable] = {}
+        self._arc_keys_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # uniform (first-order) walks
@@ -102,24 +141,96 @@ class WalkEngine:
         p: float = 1.0,
         q: float = 1.0,
         rng: RngLike = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """DeepWalk/node2vec-style corpus: ``num_walks`` shuffled passes.
 
         Each pass shuffles the node order and starts one walk per node, as
         in the original DeepWalk/node2vec schedules; the passes are stacked
         into one ``(num_walks * num_nodes, walk_length)`` matrix.
+
+        ``workers > 1`` shards the passes across a process pool.  Per-pass
+        seeds are derived from ``rng`` before the fan-out, so the sharded
+        corpus is the same for every worker count and equals executing the
+        same :meth:`corpus_pass` schedule serially; it differs from the
+        ``workers=1`` corpus, whose passes share one sequential stream (kept
+        bit-for-bit for backwards reproducibility).
+        """
+        passes = self.iter_corpus_passes(
+            num_walks, walk_length, p=p, q=q, rng=rng, workers=workers
+        )
+        return np.vstack(list(passes))
+
+    def iter_corpus_passes(
+        self,
+        num_walks: int,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: RngLike = None,
+        workers: int = 1,
+    ):
+        """Yield the ``walk_corpus`` passes one matrix at a time.
+
+        This is the single definition of the corpus schedule and its RNG
+        discipline: ``walk_corpus`` stacks these passes, and the streaming
+        pair pipeline (:func:`repro.graph.random_walk.iter_walk_pairs`)
+        consumes them incrementally — which is what makes the two paths
+        produce the same walks seed-for-seed.  With ``workers > 1`` at most
+        ``workers + 1`` pass matrices are in flight, so a slow consumer
+        bounds the producer's memory.
         """
         if num_walks <= 0:
             raise ValueError(f"num_walks must be positive, got {num_walks}")
         rng = ensure_rng(rng)
+        if workers > 1:
+            return self._pooled_passes(num_walks, walk_length, p, q, rng, workers)
+        return self._stream_passes(num_walks, walk_length, p, q, rng)
+
+    def _stream_passes(self, num_walks, walk_length, p, q, rng):
+        """Passes on the shared sequential stream (the legacy discipline)."""
         nodes = np.arange(self.graph.num_nodes)
-        matrices = []
         for _ in range(num_walks):
             rng.shuffle(nodes)
-            matrices.append(
-                self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+            yield self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+
+    def _pooled_passes(self, num_walks, walk_length, p, q, rng, workers):
+        """Derived-seed passes from a process pool, with bounded prefetch."""
+        from collections import deque
+
+        seeds = derive_pass_seeds(rng, num_walks)
+        tasks = deque((int(seed), walk_length, p, q) for seed in seeds)
+        with ProcessPoolExecutor(
+            max_workers=min(int(workers), num_walks),
+            initializer=_init_pool_engine,
+            initargs=(self.graph,),
+        ) as pool:
+            in_flight = deque(
+                pool.submit(_pool_corpus_pass, tasks.popleft())
+                for _ in range(min(int(workers) + 1, len(tasks)))
             )
-        return np.vstack(matrices)
+            while in_flight:
+                matrix = in_flight.popleft().result()
+                if tasks:
+                    in_flight.append(pool.submit(_pool_corpus_pass, tasks.popleft()))
+                yield matrix
+
+    def corpus_pass(
+        self,
+        seed: int,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+    ) -> np.ndarray:
+        """One derived-seed corpus pass: shuffle the nodes, walk once from each.
+
+        This is the sharding unit of ``walk_corpus(workers > 1)``; running the
+        derived seeds through it serially reproduces the sharded corpus.
+        """
+        rng = np.random.default_rng(int(seed))
+        nodes = np.arange(self.graph.num_nodes)
+        rng.shuffle(nodes)
+        return self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
 
     # ------------------------------------------------------------------
     # node2vec (second-order) walks
@@ -131,21 +242,36 @@ class WalkEngine:
         p: float = 1.0,
         q: float = 1.0,
         rng: RngLike = None,
+        second_order: str = "auto",
     ) -> np.ndarray:
         """Second-order biased walks (node2vec) from ``starts``.
 
         ``p`` controls the return probability, ``q`` the in-out bias;
         ``p = q = 1`` reduces to (and is dispatched to) uniform walks.
+
+        ``second_order`` picks how the biased step is sampled: ``"table"``
+        uses the precomputed cumulative-weight table (``sum deg^2`` entries),
+        ``"rejection"`` rejection-samples uniform neighbour proposals (O(2|E|)
+        memory, no table), and ``"auto"`` uses the table unless it would
+        exceed :attr:`second_order_entry_limit` entries.
         """
         if p <= 0 or q <= 0:
             raise ValueError("p and q must be positive")
+        if second_order not in SECOND_ORDER_MODES:
+            raise ValueError(
+                f"second_order must be one of {SECOND_ORDER_MODES}, got {second_order!r}"
+            )
         if p == 1.0 and q == 1.0:
             return self.uniform_walks(starts, walk_length, rng=rng)
         starts = self._check_starts(starts)
         if walk_length <= 0:
             raise ValueError(f"walk_length must be positive, got {walk_length}")
         rng = ensure_rng(rng)
-        table = self.second_order_table(p, q)
+        use_table = second_order == "table" or (
+            second_order == "auto"
+            and self.second_order_entry_count() <= self.second_order_entry_limit
+        )
+        table = self.second_order_table(p, q) if use_table else None
         num_nodes = np.int64(self.graph.num_nodes)
 
         walks = np.full((starts.size, walk_length), -1, dtype=np.int64)
@@ -159,13 +285,66 @@ class WalkEngine:
         current = self._uniform_step(prev, rng)
         walks[active, 1] = current
         for step in range(2, walk_length):
-            arc = np.searchsorted(table.arc_keys, prev * num_nodes + current)
-            target = table.base[arc] + rng.random(arc.size) * table.total[arc]
-            pos = np.searchsorted(table.cum_weights, target, side="right")
-            np.clip(pos, table.entry_offsets[arc], table.entry_offsets[arc + 1] - 1, out=pos)
-            prev, current = current, table.candidates[pos]
+            if table is not None:
+                arc = np.searchsorted(table.arc_keys, prev * num_nodes + current)
+                target = table.base[arc] + rng.random(arc.size) * table.total[arc]
+                pos = np.searchsorted(table.cum_weights, target, side="right")
+                np.clip(pos, table.entry_offsets[arc], table.entry_offsets[arc + 1] - 1, out=pos)
+                prev, current = current, table.candidates[pos]
+            else:
+                prev, current = current, self._rejection_step(prev, current, p, q, rng)
             walks[active, step] = current
         return walks
+
+    def second_order_entry_count(self) -> int:
+        """Entries a second-order table would hold: ``sum_v degree(v)^2``."""
+        return int((self._degrees.astype(np.float64) ** 2).sum())
+
+    def _arc_keys(self) -> np.ndarray:
+        """Sorted encoded directed arcs ``src * num_nodes + dst`` (2|E| entries)."""
+        if self._arc_keys_cache is None:
+            src = np.repeat(
+                np.arange(self.graph.num_nodes, dtype=np.int64), self._degrees
+            )
+            # CSR order makes these keys strictly increasing — no sort needed.
+            self._arc_keys_cache = src * np.int64(self.graph.num_nodes) + self._neighbours
+        return self._arc_keys_cache
+
+    def _rejection_step(
+        self,
+        prev: np.ndarray,
+        current: np.ndarray,
+        p: float,
+        q: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One second-order hop per walk via rejection sampling.
+
+        Proposes a uniform neighbour of ``current`` and accepts it with
+        probability ``w / w_max`` where ``w`` is the node2vec weight (1/p for
+        returning to ``prev``, 1 for a triangle edge, 1/q otherwise).  The
+        accepted draws follow exactly the table distribution while only ever
+        touching the CSR arrays plus one 2|E| key array.
+        """
+        arc_keys = self._arc_keys()
+        num_nodes = np.int64(self.graph.num_nodes)
+        w_max = max(1.0 / p, 1.0, 1.0 / q)
+        out = np.empty_like(current)
+        pending = np.arange(current.size)
+        while pending.size:
+            candidate = self._uniform_step(current[pending], rng)
+            prev_pending = prev[pending]
+            weights = np.full(candidate.size, 1.0 / q)
+            keys = candidate * num_nodes + prev_pending
+            pos = np.searchsorted(arc_keys, keys)
+            pos_clipped = np.minimum(pos, max(arc_keys.size - 1, 0))
+            is_edge = (pos < arc_keys.size) & (arc_keys[pos_clipped] == keys)
+            weights[is_edge] = 1.0
+            weights[candidate == prev_pending] = 1.0 / p
+            accept = rng.random(candidate.size) * w_max < weights
+            out[pending[accept]] = candidate[accept]
+            pending = pending[~accept]
+        return out
 
     def second_order_table(self, p: float, q: float) -> SecondOrderTable:
         """Return (building and caching on first use) the p/q transition table."""

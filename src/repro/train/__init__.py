@@ -17,14 +17,24 @@ from repro.train.loop import (
     ProgressCallback,
     TrainingLoop,
 )
+from repro.train.pair_source import (
+    ArrayPairSource,
+    PairSource,
+    SampledBatchSource,
+    StreamingPairSource,
+)
 from repro.train.protocol import Trainer
 
 __all__ = [
+    "ArrayPairSource",
     "BudgetExhausted",
     "Callback",
     "LoopResult",
+    "PairSource",
     "PrivacyBudget",
     "ProgressCallback",
+    "SampledBatchSource",
+    "StreamingPairSource",
     "Trainer",
     "TrainingLoop",
     "fit_link_prediction_head",

@@ -1,0 +1,139 @@
+"""Pair delivery between corpus/sampler generation and the skip-gram trainers.
+
+A :class:`PairSource` supplies the training batches for one pass (epoch) of a
+skip-gram-style trainer, hiding *where* the batches come from:
+
+* :class:`ArrayPairSource` — a materialised ``(n, 2)`` pair array, shuffled
+  with one ``rng.permutation`` per pass and sliced into batches.  This is the
+  default for DeepWalk/node2vec and reproduces the historical in-trainer loop
+  bit-for-bit (same RNG call sequence, same batch boundaries).
+* :class:`StreamingPairSource` — batches carved from a chunked generator
+  (:func:`repro.graph.random_walk.iter_walk_pairs`), so the full corpus is
+  never held in memory; the peak buffered-pair count is tracked for the
+  memory benchmark and bounded by one chunk plus one batch.
+* :class:`SampledBatchSource` — an endless stream over a sampling callable
+  (e.g. ``EdgeSampler.sample``), which is how the LINE-style trainers
+  (SkipGram, AdvSGM-family) fit the same seam: each pull performs exactly one
+  sampler draw, in step order.
+
+Trainers only ever iterate ``source.batches(rng)``; swapping the pipeline is
+a config flag, not a trainer change.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class PairSource(ABC):
+    """Supplier of training batches for one pass of a trainer."""
+
+    @abstractmethod
+    def batches(self, rng: RngLike = None) -> Iterator[Any]:
+        """Yield the pass's training batches in delivery order."""
+
+    @property
+    def num_pairs(self) -> Optional[int]:
+        """Total pairs per pass when known up front, else ``None``."""
+        return None
+
+    @property
+    def peak_buffer_pairs(self) -> Optional[int]:
+        """Largest number of pairs ever buffered by this source, if tracked."""
+        return None
+
+
+class ArrayPairSource(PairSource):
+    """Materialised pair array, permuted once per pass and sliced into batches."""
+
+    def __init__(self, pairs: np.ndarray, batch_size: int) -> None:
+        pairs = np.asarray(pairs)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (n, 2), got {pairs.shape}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.pairs = pairs
+        self.batch_size = int(batch_size)
+
+    def batches(self, rng: RngLike = None) -> Iterator[np.ndarray]:
+        rng = ensure_rng(rng)
+        order = rng.permutation(self.pairs.shape[0])
+        for start in range(0, self.pairs.shape[0], self.batch_size):
+            yield self.pairs[order[start : start + self.batch_size]]
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.pairs.shape[0])
+
+    @property
+    def peak_buffer_pairs(self) -> int:
+        # The whole corpus is resident — that is exactly what streaming avoids.
+        return int(self.pairs.shape[0])
+
+
+class StreamingPairSource(PairSource):
+    """Batches carved from a chunk generator; the corpus is never materialised.
+
+    Parameters
+    ----------
+    chunk_factory:
+        Zero-argument callable returning a fresh iterable of ``(m, 2)`` pair
+        chunks.  It is invoked once per pass, so a factory closing over a
+        persistent generator (e.g. a model's walk RNG) yields fresh walks
+        every epoch — streaming mode resamples the corpus instead of replaying
+        one materialised draw.
+    batch_size:
+        Rows per yielded batch; the final partial batch is yielded too.
+    """
+
+    def __init__(
+        self, chunk_factory: Callable[[], Iterable[np.ndarray]], batch_size: int
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._chunk_factory = chunk_factory
+        self.batch_size = int(batch_size)
+        self._peak_buffer = 0
+        self.pairs_delivered = 0
+
+    def batches(self, rng: RngLike = None) -> Iterator[np.ndarray]:
+        buffer: Optional[np.ndarray] = None
+        for chunk in self._chunk_factory():
+            if chunk.shape[0] == 0:
+                continue
+            buffer = (
+                chunk if buffer is None else np.concatenate([buffer, chunk], axis=0)
+            )
+            self._peak_buffer = max(self._peak_buffer, buffer.shape[0])
+            while buffer.shape[0] >= self.batch_size:
+                batch, buffer = (
+                    buffer[: self.batch_size],
+                    buffer[self.batch_size :],
+                )
+                self.pairs_delivered += batch.shape[0]
+                yield batch
+            if buffer.shape[0] == 0:
+                buffer = None
+        if buffer is not None and buffer.shape[0]:
+            self.pairs_delivered += buffer.shape[0]
+            yield buffer
+
+    @property
+    def peak_buffer_pairs(self) -> int:
+        return self._peak_buffer
+
+
+class SampledBatchSource(PairSource):
+    """Endless source over a sampling callable (one draw per pulled batch)."""
+
+    def __init__(self, draw: Callable[[], Any]) -> None:
+        self._draw = draw
+
+    def batches(self, rng: RngLike = None) -> Iterator[Any]:
+        while True:
+            yield self._draw()

@@ -64,6 +64,66 @@ class TestCli:
         assert proc.returncode != 0
         assert "unknown config field" in proc.stderr
 
+    def test_unknown_model_is_one_line_error(self):
+        proc = run_cli("train", "--model", "nosuchmodel", "--dataset", "ppi")
+        assert proc.returncode != 0
+        assert "unknown model" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unknown_dataset_is_one_line_error(self):
+        proc = run_cli("train", "--model", "deepwalk", "--dataset", "nosuchdata")
+        assert proc.returncode != 0
+        assert "unknown dataset" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unknown_dataset_in_evaluate(self):
+        proc = run_cli("evaluate", "--model", "deepwalk", "--dataset", "nosuchdata")
+        assert proc.returncode != 0
+        assert "unknown dataset" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_malformed_override_value(self):
+        proc = run_cli("train", "--model", "deepwalk", "--dataset", "ppi",
+                       "--set", "num_epochs=banana")
+        assert proc.returncode != 0
+        assert "cannot parse" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_invalid_override_value_fails_config_validation(self):
+        proc = run_cli("train", "--model", "deepwalk", "--dataset", "ppi",
+                       "--set", "num_epochs=-3")
+        assert proc.returncode != 0
+        assert "invalid configuration" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_equals_in_override(self):
+        proc = run_cli("train", "--model", "deepwalk", "--dataset", "ppi",
+                       "--set", "num_epochs")
+        assert proc.returncode != 0
+        assert "field=value" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_stream_flags_rejected_for_non_walk_models(self):
+        proc = run_cli("train", "--model", "sgm", "--dataset", "ppi",
+                       "--stream-pairs")
+        assert proc.returncode != 0
+        assert "not supported" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_train_streaming_deepwalk(self, tmp_path):
+        out = tmp_path / "emb.npz"
+        proc = run_cli(
+            "train", "--model", "deepwalk", "--dataset", "ppi",
+            "--scale", "0.1", "--seed", "0", "--stream-pairs",
+            "--chunk-walks", "64",
+            "--set", "num_epochs=1", "--set", "num_walks=1",
+            "--set", "walk_length=8", "--set", "embedding_dim=8",
+            "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        embeddings = np.load(out)["embeddings"]
+        assert embeddings.shape == (100, 8)
+
     def test_experiment_fig3_smoke_parallel(self):
         proc = run_cli(
             "experiment", "fig3", "--preset", "smoke", "--dataset", "ppi",

@@ -221,6 +221,21 @@ class TestWalkWrappers:
         matrix = np.array([[3, 1, -1, -1], [2, 0, 1, 2]])
         assert matrix_to_walks(matrix) == [[3, 1], [2, 0, 1, 2]]
 
+    def test_matrix_to_walks_all_padding_rows(self):
+        matrix = np.array([[-1, -1, -1], [4, 2, -1], [-1, -1, -1]])
+        assert matrix_to_walks(matrix) == [[], [4, 2], []]
+
+    def test_matrix_to_walks_zero_columns(self):
+        assert matrix_to_walks(np.zeros((3, 0), dtype=np.int64)) == [[], [], []]
+
+    def test_matrix_to_walks_int32_input(self):
+        matrix = np.array([[3, 1, -1], [2, 0, 1]], dtype=np.int32)
+        assert matrix_to_walks(matrix) == [[3, 1], [2, 0, 1]]
+
+    def test_matrix_to_walks_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            matrix_to_walks(np.array([1, 2, 3]))
+
 
 class TestWalksToPairsParity:
     @pytest.mark.parametrize("trial", range(10))
@@ -264,3 +279,31 @@ class TestWalksToPairsParity:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             walks_to_pairs([[0, 1]], 0)
+
+    def test_all_padding_rows_round_trip(self):
+        # Rows that are entirely -1 padding contribute no pairs and must agree
+        # with the reference pipeline run on the truncated corpus.
+        matrix = np.array([[-1, -1, -1, -1], [0, 1, 2, -1], [-1, -1, -1, -1]])
+        got = walks_to_pairs(matrix, 2)
+        ref = reference_walks_to_pairs(matrix_to_walks(matrix), 2)
+        assert np.array_equal(sort_pairs(got), sort_pairs(ref))
+
+    def test_entirely_padded_matrix_yields_no_pairs(self):
+        matrix = np.full((5, 4), -1, dtype=np.int64)
+        assert walks_to_pairs(matrix, 3).shape == (0, 2)
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int16])
+    def test_integer_dtypes_round_trip(self, dtype):
+        # The walk engine emits int64 but int32 corpora (e.g. reloaded from
+        # disk) must produce exactly the same pairs as the reference loops.
+        rng = np.random.default_rng(77)
+        matrix = rng.integers(0, 120, size=(40, 9)).astype(dtype)
+        matrix[rng.random(matrix.shape) < 0.2] = -1
+        # Re-impose the engine's prefix-validity convention (-1 only as padding).
+        first_pad = np.argmax(matrix < 0, axis=1)
+        has_pad = (matrix < 0).any(axis=1)
+        for i in np.flatnonzero(has_pad):
+            matrix[i, first_pad[i]:] = -1
+        got = walks_to_pairs(matrix, 3)
+        ref = reference_walks_to_pairs(matrix_to_walks(matrix), 3)
+        assert np.array_equal(sort_pairs(got.astype(np.int64)), sort_pairs(ref))

@@ -42,6 +42,22 @@ class TestEdgeSampler:
         assert sampler.edge_sampling_probability == 1.0
         assert sampler.node_sampling_probability == 1.0
 
+    def test_probabilities_follow_actual_take(self):
+        # Regression: with batch_size > |E| the sampler clamps its draw, and
+        # the probabilities reported to the RDP accountant must describe the
+        # clamped take, not the configured batch size.
+        from repro.graph.graph import Graph
+
+        sparse = Graph(100, [(0, 1), (1, 2), (2, 3)])
+        sampler = EdgeSampler(sparse, batch_size=10, num_negatives=2, rng=0)
+        batch = sampler.sample()
+        assert batch.batch_size == 3  # clamped to |E|
+        assert sampler.positive_batch_size == 3
+        assert batch.negative_pairs.shape == (6, 2)
+        assert sampler.edge_sampling_probability == pytest.approx(1.0)
+        # 3 * 2 / 100, not the configured 10 * 2 / 100 = 0.2 over-charge.
+        assert sampler.node_sampling_probability == pytest.approx(0.06)
+
     def test_batch_capped_at_edge_count(self, triangle_graph):
         sampler = EdgeSampler(triangle_graph, batch_size=100, num_negatives=2, rng=0)
         batch = sampler.sample()
