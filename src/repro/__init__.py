@@ -35,9 +35,14 @@ contribution:
     The unified estimator surface: the ``GraphEmbedder`` protocol, the
     string-keyed model registry (``make_model``) and declarative
     ``ExperimentSpec`` grids.
+``repro.cache``
+    Content-addressed experiment result cache: canonical cell keys,
+    provenance manifests and the filesystem ``ResultStore`` that makes
+    re-running partial sweeps free and interrupted sweeps resumable.
 ``repro.experiments``
     One module per paper table/figure that regenerates the reported series,
-    all running through ``run_spec`` (serially or across a process pool).
+    all running through ``run_spec`` (serially or across a process pool,
+    optionally against a result cache).
 
 The command line mirrors the library: ``python -m repro train / evaluate /
 experiment / datasets list / models list``.
@@ -53,6 +58,7 @@ from repro.api import (
     make_model,
     register_model,
 )
+from repro.cache import ResultStore, cell_key
 from repro.core.advsgm import AdvSGM
 from repro.core.config import AdvSGMConfig
 from repro.embedding.skipgram import SkipGramModel
@@ -70,7 +76,7 @@ from repro.train import (
     TrainingLoop,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdvSGM",
@@ -92,6 +98,8 @@ __all__ = [
     "ExperimentCell",
     "ExperimentSpec",
     "ModelSpec",
+    "ResultStore",
+    "cell_key",
     "get_entry",
     "list_models",
     "make_model",
@@ -100,11 +108,12 @@ __all__ = [
 ]
 
 
-def run_spec(spec, workers: int = 1):
+def run_spec(spec, workers: int = 1, **kwargs):
     """Run an :class:`ExperimentSpec`; see :func:`repro.experiments.runners.run_spec`.
 
-    Imported lazily so ``import repro`` stays light.
+    Imported lazily so ``import repro`` stays light.  ``cache=``, ``resume=``,
+    ``force=`` and ``store_embeddings=`` pass through to the runner.
     """
     from repro.experiments.runners import run_spec as _run_spec
 
-    return _run_spec(spec, workers=workers)
+    return _run_spec(spec, workers=workers, **kwargs)

@@ -150,6 +150,19 @@ def get_entry(name: str) -> ModelEntry:
     return _REGISTRY[key]
 
 
+def canonical_name(name: str) -> str:
+    """Resolve a model name or alias to its canonical registry key.
+
+    Unknown names are lower-cased and returned unchanged instead of raising:
+    the experiment cache uses this to canonicalise cell hashes, and a key
+    computation must stay total even for models that are not registered in
+    this process (e.g. when inspecting a cache written by a newer version).
+    """
+    _ensure_registered()
+    key = name.lower()
+    return _ALIASES.get(key, key)
+
+
 def config_field_names(name: str) -> Tuple[str, ...]:
     """Sorted config-dataclass field names of a registered model.
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 #: Evaluation protocols a spec can request.
 TASKS = ("link_prediction", "node_clustering", "none")
 
@@ -25,8 +27,30 @@ TASKS = ("link_prediction", "node_clustering", "none")
 SEED_STRIDE = 7919
 
 
+def _freeze_value(value: Any) -> Any:
+    """Normalise one override value to hashable, canonical plain data.
+
+    numpy scalars are coerced to their Python equivalents and sequences to
+    tuples so the frozen form — and therefore the cell's content-address —
+    is identical whether the override came from Python literals, numpy
+    results, or a JSON round-trip.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
 def _freeze_overrides(overrides: Union[Mapping[str, Any], Iterable, None]) -> Tuple[Tuple[str, Any], ...]:
-    """Normalise an overrides mapping to a hashable, serialisable tuple."""
+    """Normalise an overrides mapping to a hashable, serialisable tuple.
+
+    Entries are sorted by field name: override order never affects model
+    construction (they are applied as keyword arguments), so the frozen form
+    is made order-independent to keep equality and cache keys stable.
+    """
     if overrides is None:
         return ()
     if isinstance(overrides, Mapping):
@@ -35,10 +59,8 @@ def _freeze_overrides(overrides: Union[Mapping[str, Any], Iterable, None]) -> Tu
         items = tuple(overrides)
     frozen = []
     for key, value in items:
-        if isinstance(value, list):
-            value = tuple(value)
-        frozen.append((str(key), value))
-    return tuple(frozen)
+        frozen.append((str(key), _freeze_value(value)))
+    return tuple(sorted(frozen))
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,9 @@ class ModelSpec:
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        if self.label is not None:
+            object.__setattr__(self, "label", str(self.label))
         object.__setattr__(self, "overrides", _freeze_overrides(self.overrides))
 
     @property
@@ -117,6 +142,21 @@ class ExperimentCell:
     def __post_init__(self) -> None:
         if self.task not in TASKS:
             raise ValueError(f"task must be one of {TASKS}, got {self.task!r}")
+        # Coerce every field to canonical plain-Python scalars so that two
+        # cells describing the same work — one built from numpy values or a
+        # JSON round-trip, one from literals — are equal and hash to the
+        # same content-address.
+        object.__setattr__(self, "task", str(self.task))
+        object.__setattr__(self, "dataset", str(self.dataset))
+        object.__setattr__(self, "model", ModelSpec.of(self.model))
+        if self.epsilon is not None:
+            object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "repeat", int(self.repeat))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "dataset_scale", float(self.dataset_scale))
+        if self.dataset_seed is not None:
+            object.__setattr__(self, "dataset_seed", int(self.dataset_seed))
+        object.__setattr__(self, "test_fraction", float(self.test_fraction))
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-able)."""

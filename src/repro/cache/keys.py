@@ -1,0 +1,55 @@
+"""Content-addressing of experiment cells.
+
+A cached result is stored under ``cell_key(cell)``: the sha256 of the cell's
+canonical JSON form, prefixed with the cache schema version.  The canonical
+form (:func:`canonical_cell_dict`) fixes every source of key instability:
+
+* dict ordering (keys are sorted at serialisation time);
+* numpy scalars vs Python scalars (coerced via :func:`repro.utils.to_plain`);
+* model aliases (``"AdvSGM"``/``"advsgm"`` resolve to one registry key);
+* int-vs-float epsilon (coerced to ``float``) and ``-0.0`` aliasing.
+
+The schema version is hashed *into* the key, so entries written under an
+older layout can never shadow a current key; the store additionally verifies
+the version recorded in each entry's manifest and treats mismatches as
+misses (see :class:`repro.cache.store.ResultStore`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Mapping, Union
+
+from repro.api.registry import canonical_name
+from repro.api.spec import ExperimentCell
+from repro.utils.serialization import canonical_json, to_plain
+
+#: Version of the on-disk entry layout *and* of the hashed canonical form.
+#: Bump it whenever either changes; old entries then become invisible
+#: (different keys) and are ignored even if probed directly (manifest check).
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_cell_dict(cell: Union[ExperimentCell, Mapping[str, Any]]) -> Dict[str, Any]:
+    """The canonical plain-data form of ``cell`` used for hashing.
+
+    Accepts an :class:`ExperimentCell` or an equivalent mapping (e.g. the
+    ``cell`` recorded in a manifest) and returns plain data that hashes
+    identically for every representation of the same work unit.
+    """
+    data = cell.to_dict() if isinstance(cell, ExperimentCell) else dict(cell)
+    plain = to_plain(data)
+    model = plain.get("model")
+    if isinstance(model, dict) and "name" in model:
+        model["name"] = canonical_name(str(model["name"]))
+    if plain.get("epsilon") is not None:
+        plain["epsilon"] = float(plain["epsilon"])
+    return plain
+
+
+def cell_key(cell: Union[ExperimentCell, Mapping[str, Any]]) -> str:
+    """The content-address (sha256 hex digest) of one experiment cell."""
+    payload = canonical_json(
+        {"schema": CACHE_SCHEMA_VERSION, "cell": canonical_cell_dict(cell)}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

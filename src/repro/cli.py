@@ -14,8 +14,15 @@ Subcommands
     the experiment settings presets.
 ``experiment``
     Regenerate a paper figure/table (``fig2 fig3 fig4 table2 table3 table4
-    table5``), optionally restricted to given datasets/models/epsilons and
-    parallelised over experiment cells with ``--workers``.
+    table5``), optionally restricted to given datasets/models/epsilons,
+    parallelised over experiment cells with ``--workers``, and cached /
+    resumed with ``--cache-dir`` / ``--resume`` / ``--force``.
+``cache``
+    Inspect (``report``, with ``--json`` for the manifest listing) or
+    ``clear`` the content-addressed experiment cache.
+``golden``
+    Compute the golden-parity digests of the default models; ``--check``
+    compares against the committed fixture, ``--update`` regenerates it.
 
 Examples
 --------
@@ -26,7 +33,9 @@ Examples
         --set num_epochs=2 --scale 0.15 --out emb.npz
     python -m repro evaluate --model dpar --dataset wiki --epsilon 4 \
         --task node_clustering --preset smoke
-    python -m repro experiment fig3 --dataset ppi --workers 4
+    python -m repro experiment fig3 --dataset ppi --workers 4 --cache-dir .cache
+    python -m repro cache report --cache-dir .cache
+    python -m repro golden --check
 """
 
 from __future__ import annotations
@@ -292,8 +301,87 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.name not in ("fig3", "fig4", "table5"):
             raise SystemExit(f"--epsilons does not apply to {args.name}")
         kwargs["epsilons"] = tuple(args.epsilons)
+    store = None
+    if args.cache_dir or args.resume or args.force:
+        if args.name == "fig2":
+            raise SystemExit(
+                "fig2 does not run experiment cells; caching does not apply"
+            )
+        if args.force and not (args.cache_dir or args.resume):
+            raise SystemExit("--force requires --cache-dir or --resume")
+        from repro.cache import ResultStore
+
+        store = ResultStore(args.cache_dir)  # None selects the default dir
+        kwargs["cache"] = store
+        kwargs["force"] = args.force
     results = module.run(settings, **kwargs)
     _emit(results, module.format_table(results), args.json)
+    if store is not None:
+        print(
+            f"[cache] {store.stats.hits} loaded / {store.stats.writes} computed / "
+            f"{store.stats.stale} stale ({store.root})"
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "report":
+        manifests = list(store.entries())
+        lines = [f"cache {store.root}: {len(manifests)} entries"]
+        for manifest in manifests:
+            cell = manifest.get("cell") or {}
+            model = cell.get("model") or {}
+            lines.append(
+                f"  {str(manifest.get('key', '?'))[:12]}  "
+                f"{str(model.get('name', '?')):<12} "
+                f"{str(cell.get('dataset', '?')):<10} "
+                f"task={cell.get('task', '?')} eps={cell.get('epsilon')} "
+                f"seed={cell.get('seed')} repeat={cell.get('repeat')} "
+                f"{float(manifest.get('wall_time_s') or 0.0):.2f}s"
+            )
+        _emit(manifests, "\n".join(lines), args.json)
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro import golden
+
+    if args.relaxed and not args.check:
+        raise SystemExit("--relaxed only applies to --check")
+    path = args.path or golden.default_path()
+    if args.update:
+        target = golden.write_digests(path)
+        print(f"golden digests written to {target}")
+        return 0
+    if args.check:  # load the fixture before the (slow) recomputation
+        try:
+            expected = golden.load_digests(path)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"no golden fixture at {path}; run `python -m repro golden --update`"
+            )
+    actual = golden.compute_all()
+    if args.check:
+        problems = golden.compare_digests(expected, actual, relaxed=args.relaxed)
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH {problem}")
+            raise SystemExit(
+                f"{len(problems)} golden-parity mismatch(es) against {path}"
+            )
+        mode = "relaxed" if args.relaxed else "bit-for-bit"
+        print(
+            f"golden parity OK ({mode}) against {path} "
+            f"({len(expected.get('cases', {}))} cases)"
+        )
+        return 0
+    print(json.dumps(actual, indent=2, sort_keys=True))
     return 0
 
 
@@ -359,8 +447,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict the swept privacy budgets")
     p_exp.add_argument("--workers", type=int, default=1,
                        help="process-pool size for the experiment cells")
+    p_exp.add_argument("--cache-dir",
+                       help="cache completed cells under this directory and "
+                            "load them on re-runs (content-addressed)")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="reuse completed cells from the cache; without "
+                            "--cache-dir the default ~/.cache/repro is used")
+    p_exp.add_argument("--force", action="store_true",
+                       help="recompute every cell, overwriting cached entries")
     p_exp.add_argument("--json", help="also write results as JSON ('-' for stdout)")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the experiment cache")
+    p_cache.add_argument("action", choices=["report", "clear"], help="what to do")
+    p_cache.add_argument("--cache-dir",
+                         help="cache directory (default: ~/.cache/repro)")
+    p_cache.add_argument("--json",
+                         help="write the entry manifests as JSON ('-' for stdout)")
+    p_cache.set_defaults(func=_cmd_cache)
+
+    p_gold = sub.add_parser(
+        "golden", help="golden-parity digests of the default models"
+    )
+    p_gold.add_argument("--update", action="store_true",
+                        help="recompute and overwrite the committed fixture")
+    p_gold.add_argument("--check", action="store_true",
+                        help="recompute and compare against the fixture "
+                             "(non-zero exit on any mismatch)")
+    p_gold.add_argument("--relaxed", action="store_true",
+                        help="with --check: compare metrics within a tiny "
+                             "tolerance instead of raw-byte sha256 (for "
+                             "BLAS builds other than the fixture's)")
+    p_gold.add_argument("--path",
+                        help="fixture path (default: tests/golden/golden_digests.json)")
+    p_gold.set_defaults(func=_cmd_golden)
     return parser
 
 

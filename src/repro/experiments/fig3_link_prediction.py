@@ -42,9 +42,20 @@ def run(
     models: Iterable[str] = PRIVATE_MODEL_NAMES,
     epsilons: Iterable[float] | None = None,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[str, Dict[str, Dict[float, float]]]:
-    """Return ``{dataset: {model: {epsilon: auc}}}``."""
-    results = run_spec(spec(settings, datasets, models, epsilons), workers=workers)
+    """Return ``{dataset: {model: {epsilon: auc}}}``.
+
+    ``cache``/``resume``/``force`` behave as in
+    :func:`repro.experiments.runners.run_spec`: completed cells are loaded
+    from the result store instead of recomputed.
+    """
+    results = run_spec(
+        spec(settings, datasets, models, epsilons),
+        workers=workers, cache=cache, resume=resume, force=force,
+    )
     return nest_series(results, "auc")
 
 

@@ -42,9 +42,19 @@ def run(
     models: Iterable[str] = PRIVATE_MODEL_NAMES,
     epsilons: Iterable[float] | None = None,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[str, Dict[str, Dict[float, float]]]:
-    """Return ``{dataset: {model: {epsilon: mi}}}``."""
-    results = run_spec(spec(settings, datasets, models, epsilons), workers=workers)
+    """Return ``{dataset: {model: {epsilon: mi}}}``.
+
+    ``cache``/``resume``/``force`` behave as in
+    :func:`repro.experiments.runners.run_spec`.
+    """
+    results = run_spec(
+        spec(settings, datasets, models, epsilons),
+        workers=workers, cache=cache, resume=resume, force=force,
+    )
     return nest_series(results, "mi")
 
 

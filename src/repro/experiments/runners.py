@@ -16,13 +16,15 @@ out, the parallel path is bit-for-bit identical to the serial one.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.api import ExperimentCell, ExperimentSpec, ModelSpec, SEED_STRIDE
 from repro.api.registry import get_entry, make_model
+from repro.cache import CacheLike, resolve_store
 from repro.core.config import AdvSGMConfig
 from repro.evals.clustering import NodeClusteringTask
 from repro.evals.link_prediction import LinkPredictionTask
@@ -234,12 +236,19 @@ def spec_from_settings(
     )
 
 
-def run_cell(cell: ExperimentCell) -> Dict[str, Any]:
-    """Execute one independent experiment cell and return its result row.
+def _compute_cell(
+    cell: ExperimentCell, capture_embeddings: bool = False
+) -> Tuple[Dict[str, Any], Optional[np.ndarray], float]:
+    """Compute one cell from scratch: ``(row, embeddings-or-None, seconds)``.
 
     This is the unit of work of the multiprocess runner, so it is a plain
-    module-level function of one picklable argument.
+    module-level function of picklable arguments.  The row is normalised to
+    plain Python scalars so it is identical whether it is consumed directly
+    or after a JSON round-trip through the cache.
     """
+    from repro.utils.serialization import to_plain
+
+    start = time.perf_counter()
     graph = load_dataset(
         cell.dataset, scale=cell.dataset_scale, seed=cell.dataset_seed
     )
@@ -279,7 +288,7 @@ def run_cell(cell: ExperimentCell) -> Dict[str, Any]:
         row["mi"] = outcome.mutual_information
         row["nmi"] = outcome.normalized_mutual_information
     elif cell.task == "none":  # train without evaluating (timing/warm-up runs)
-        make_model(
+        model = make_model(
             cell.model.name,
             epsilon=cell.epsilon,
             graph=graph,
@@ -288,21 +297,106 @@ def run_cell(cell: ExperimentCell) -> Dict[str, Any]:
         ).fit()
     else:
         raise ValueError(f"unknown cell task {cell.task!r}")
+    embeddings = model.embeddings_ if capture_embeddings else None
+    return to_plain(row), embeddings, time.perf_counter() - start
+
+
+def run_cell(
+    cell: ExperimentCell,
+    cache: CacheLike = None,
+    force: bool = False,
+    store_embeddings: bool = False,
+) -> Dict[str, Any]:
+    """Execute one experiment cell (or load it) and return its result row.
+
+    With a ``cache`` (a :class:`repro.cache.ResultStore`, a directory path,
+    or ``True`` for the default directory), a previously completed cell is
+    loaded instead of recomputed — bit-for-bit identical, because the cell's
+    derived seed fully determines the computation — and a computed result is
+    persisted before returning.  ``force=True`` recomputes and overwrites;
+    ``store_embeddings=True`` additionally persists ``model.embeddings_``.
+    """
+    store = resolve_store(cache)
+    if store is not None and not force:
+        # A caller that wants embeddings treats an embeddings-less entry as
+        # a miss (recompute + overwrite) rather than silently going without.
+        cached = store.get(cell, require_embeddings=store_embeddings)
+        if cached is not None:
+            return cached
+    row, embeddings, wall = _compute_cell(
+        cell, capture_embeddings=store_embeddings and store is not None
+    )
+    if store is not None:
+        store.put(cell, row, embeddings=embeddings, wall_time=wall)
     return row
 
 
-def run_spec(spec: ExperimentSpec, workers: int = 1) -> List[Dict[str, Any]]:
+def run_spec(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    cache: CacheLike = None,
+    resume: bool = True,
+    force: bool = False,
+    store_embeddings: bool = False,
+) -> List[Dict[str, Any]]:
     """Run every cell of ``spec``; ``workers > 1`` uses a process pool.
 
     The cells are independent and carry their own derived seeds, so the
     result list is identical (row for row) whichever way it is computed;
     rows follow ``spec.cells()`` order either way.
+
+    With a ``cache``, cells already in the store are loaded instead of
+    recomputed (unless ``resume=False`` or ``force=True``), and every newly
+    computed cell is persisted *as soon as it finishes* — in the parent
+    process, even on the multiprocess path — so an interrupted sweep keeps
+    all completed work and a re-run picks up exactly where it died.
     """
     cells = spec.cells()
+    store = resolve_store(cache)
+    if store is None:
+        if workers <= 1:
+            return [run_cell(cell) for cell in cells]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_cell, cells))
+
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        if resume and not force:
+            cached = store.get(cell, require_embeddings=store_embeddings)
+            if cached is not None:
+                rows[index] = cached
+                continue
+        pending.append(index)
+    capture = bool(store_embeddings)
     if workers <= 1:
-        return [run_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_cell, cells))
+        for index in pending:
+            row, embeddings, wall = _compute_cell(cells[index], capture)
+            store.put(cells[index], row, embeddings=embeddings, wall_time=wall)
+            rows[index] = row
+    elif pending:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_compute_cell, cells[index], capture): index
+                for index in pending
+            }
+            # One failing cell must not discard its siblings' finished work:
+            # drain every future, persist all successes, then re-raise the
+            # first failure — a resume only recomputes the genuinely lost.
+            first_error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    row, embeddings, wall = future.result()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                store.put(cells[index], row, embeddings=embeddings, wall_time=wall)
+                rows[index] = row
+            if first_error is not None:
+                raise first_error
+    return rows  # type: ignore[return-value]
 
 
 def nest_series(

@@ -51,10 +51,16 @@ def run(
     learning_rates=LEARNING_RATES,
     datasets=TABLE2_DATASETS,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Return ``{learning_rate: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
-    rows = run_spec(spec(settings, learning_rates, datasets), workers=workers)
+    rows = run_spec(
+        spec(settings, learning_rates, datasets),
+        workers=workers, cache=cache, resume=resume, force=force,
+    )
     results: Dict[float, Dict[str, Dict[str, float]]] = {}
     for lr in learning_rates:
         results[lr] = {}

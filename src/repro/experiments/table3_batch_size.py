@@ -49,10 +49,16 @@ def run(
     batch_sizes=BATCH_SIZES,
     datasets=TABLE3_DATASETS,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[int, Dict[str, Dict[str, float]]]:
     """Return ``{batch_size: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
-    rows = run_spec(spec(settings, batch_sizes, datasets), workers=workers)
+    rows = run_spec(
+        spec(settings, batch_sizes, datasets),
+        workers=workers, cache=cache, resume=resume, force=force,
+    )
     results: Dict[int, Dict[str, Dict[str, float]]] = {}
     for batch_size in batch_sizes:
         results[batch_size] = {}

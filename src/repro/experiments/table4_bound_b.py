@@ -47,10 +47,16 @@ def run(
     bounds=BOUNDS,
     datasets=TABLE4_DATASETS,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Return ``{b: {dataset: {"mean": auc, "std": std}}}``."""
     settings = settings or ExperimentSettings.quick()
-    rows = run_spec(spec(settings, bounds, datasets), workers=workers)
+    rows = run_spec(
+        spec(settings, bounds, datasets),
+        workers=workers, cache=cache, resume=resume, force=force,
+    )
     results: Dict[float, Dict[str, Dict[str, float]]] = {}
     for bound in bounds:
         results[bound] = {}

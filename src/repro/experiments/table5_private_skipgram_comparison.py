@@ -32,6 +32,9 @@ def run(
     auc_datasets=AUC_DATASETS,
     mi_datasets=MI_DATASETS,
     workers: int = 1,
+    cache=None,
+    resume: bool = True,
+    force: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Return ``{row_label: {"auc/<ds>": value, "mi/<ds>": value}}``.
 
@@ -59,7 +62,9 @@ def run(
     ]
     cells: List[Dict[str, float]] = []
     for spec in specs:
-        cells.extend(run_spec(spec, workers=workers))
+        cells.extend(
+            run_spec(spec, workers=workers, cache=cache, resume=resume, force=force)
+        )
 
     def row_label(cell: Dict[str, float]) -> str:
         if cell["epsilon"] is None:

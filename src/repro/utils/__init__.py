@@ -2,6 +2,7 @@
 lightweight structured logging used across the library."""
 
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.serialization import canonical_json, to_plain
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -13,6 +14,8 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "canonical_json",
+    "to_plain",
     "check_positive",
     "check_non_negative",
     "check_probability",

@@ -1,0 +1,60 @@
+"""Canonical plain-data serialisation shared by specs and the result cache.
+
+The experiment cache (:mod:`repro.cache`) is content-addressed: the key of a
+cached result is a hash of the cell that produced it.  For that hash to be
+stable across processes, platforms and JSON round-trips, the hashed form must
+be *canonical*: no numpy scalar types, no tuple-vs-list ambiguity, no
+``-0.0``-vs-``0.0`` float aliasing, and no dict-ordering dependence.
+
+:func:`to_plain` normalises any nesting of the supported value types into
+plain Python data; :func:`canonical_json` serialises that form with sorted
+keys and no whitespace, which is the byte string the cache hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+
+def to_plain(obj: Any) -> Any:
+    """Recursively normalise ``obj`` into canonical plain-Python data.
+
+    * numpy scalars become their Python equivalents (``np.float64`` ->
+      ``float``, ``np.int64`` -> ``int``, ...);
+    * numpy arrays and tuples become lists (element-wise normalised);
+    * mappings become dicts with string keys (element-wise normalised);
+    * ``-0.0`` becomes ``0.0`` so the two hash identically;
+    * ``bool``/``int``/``float``/``str``/``None`` pass through.
+
+    Anything else raises ``TypeError`` — the canonical form must never fall
+    back to ``repr`` or id-dependent encodings.
+    """
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return 0.0 if obj == 0.0 else obj
+    if isinstance(obj, np.ndarray):
+        return [to_plain(v) for v in obj.tolist()]
+    if isinstance(obj, (list, tuple)):
+        return [to_plain(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): to_plain(v) for k, v in obj.items()}
+    raise TypeError(
+        f"cannot canonicalise value of type {type(obj).__name__}: {obj!r}"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON encoding of ``obj`` (sorted keys, no whitespace).
+
+    Non-finite floats are rejected (``allow_nan=False``): a cache key must
+    never depend on a value that JSON cannot round-trip exactly.
+    """
+    return json.dumps(
+        to_plain(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
