@@ -8,11 +8,17 @@ contribution:
     Graph data structure, synthetic dataset generators that stand in for the
     paper's public datasets, sampling routines (Algorithm 2) and edge-split
     utilities.
+``repro.backend``
+    Pluggable compute backends: the ``Backend`` array-ops protocol, the
+    bit-for-bit default ``NumpyBackend`` and the optional, import-gated
+    ``TorchBackend`` (CPU/GPU).  All models route their tensor math through
+    the seam; randomness stays on seeded numpy streams so one seed
+    reproduces a run on every backend.
 ``repro.nn``
-    Minimal NumPy neural-network substrate: numerically stable activations,
-    the constrained sigmoid built from exponential clipping (Algorithm 1),
+    Minimal neural-network substrate: numerically stable activations, the
+    constrained sigmoid built from exponential clipping (Algorithm 1),
     parameter initialisers, optimizers and the dense/GCN layers used by the
-    GNN baselines.
+    GNN baselines — all backend-aware.
 ``repro.privacy``
     Differential-privacy substrate: Gaussian mechanism, gradient clipping,
     RDP of the subsampled Gaussian mechanism, composition, conversion to
@@ -58,6 +64,7 @@ from repro.api import (
     make_model,
     register_model,
 )
+from repro.backend import Backend, BackendError, get_backend, list_backends
 from repro.cache import ResultStore, cell_key
 from repro.core.advsgm import AdvSGM
 from repro.core.config import AdvSGMConfig
@@ -76,11 +83,15 @@ from repro.train import (
     TrainingLoop,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdvSGM",
     "AdvSGMConfig",
+    "Backend",
+    "BackendError",
+    "get_backend",
+    "list_backends",
     "SkipGramModel",
     "AdversarialSkipGram",
     "Graph",

@@ -180,6 +180,8 @@ def make_model(
     epsilon: Optional[float] = None,
     graph=None,
     rng: RngLike = None,
+    backend: Optional[str] = None,
+    device: Optional[str] = None,
     **overrides: Any,
 ):
     """Construct a registered estimator by name.
@@ -197,6 +199,10 @@ def make_model(
         unbound — pass the graph to ``fit(graph)`` instead.
     rng:
         Seed or generator forwarded to the model.
+    backend / device:
+        Compute backend request, shorthand for the ``backend``/``device``
+        config fields every registered model carries (``"numpy"`` default,
+        ``"torch"``/``"torch:cuda"`` optional — see :mod:`repro.backend`).
     **overrides:
         Config dataclass fields to override (validated against the model's
         config class so typos fail fast).
@@ -206,6 +212,10 @@ def make_model(
     A :class:`repro.api.GraphEmbedder` estimator (untrained).
     """
     entry = get_entry(name)
+    if backend is not None:
+        overrides = {**overrides, "backend": str(backend)}
+    if device is not None:
+        overrides = {**overrides, "device": str(device)}
     field_names = {f.name for f in dataclasses.fields(entry.config_cls)}
     unknown = set(overrides) - field_names
     if unknown:

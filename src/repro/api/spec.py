@@ -138,6 +138,8 @@ class ExperimentCell:
     dataset_scale: float = 1.0
     dataset_seed: Optional[int] = None
     test_fraction: float = 0.1
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -157,12 +159,17 @@ class ExperimentCell:
         if self.dataset_seed is not None:
             object.__setattr__(self, "dataset_seed", int(self.dataset_seed))
         object.__setattr__(self, "test_fraction", float(self.test_fraction))
+        if self.backend is not None:
+            object.__setattr__(self, "backend", str(self.backend))
+        if self.device is not None:
+            object.__setattr__(self, "device", str(self.device))
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-able)."""
         data = {f: getattr(self, f) for f in (
             "task", "dataset", "epsilon", "repeat", "seed",
             "dataset_scale", "dataset_seed", "test_fraction",
+            "backend", "device",
         )}
         data["model"] = self.model.to_dict()
         return data
@@ -200,6 +207,12 @@ class ExperimentSpec:
         ``base_seed`` (the historical runners' convention).
     test_fraction:
         Held-out edge fraction for link prediction.
+    backend / device:
+        Compute backend every cell of the grid trains on (``None`` defers to
+        each model's config and then the ambient default — see
+        :mod:`repro.backend`).  Carried per cell so a worker process, or a
+        remote runner reading the cell from a cache manifest, reproduces the
+        same placement.
     """
 
     task: str
@@ -211,6 +224,8 @@ class ExperimentSpec:
     dataset_scale: float = 1.0
     dataset_seed: Optional[int] = field(default=None)
     test_fraction: float = 0.1
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -238,6 +253,10 @@ class ExperimentSpec:
             raise ValueError("dataset_scale must be positive")
         if self.dataset_seed is None:
             object.__setattr__(self, "dataset_seed", self.base_seed)
+        if self.backend is not None:
+            object.__setattr__(self, "backend", str(self.backend))
+        if self.device is not None:
+            object.__setattr__(self, "device", str(self.device))
 
     # ------------------------------------------------------------------
     def seed_for_repeat(self, repeat: int) -> int:
@@ -262,6 +281,8 @@ class ExperimentSpec:
                                 dataset_scale=self.dataset_scale,
                                 dataset_seed=self.dataset_seed,
                                 test_fraction=self.test_fraction,
+                                backend=self.backend,
+                                device=self.device,
                             )
                         )
         return tuple(out)
@@ -283,6 +304,8 @@ class ExperimentSpec:
             "dataset_scale": self.dataset_scale,
             "dataset_seed": self.dataset_seed,
             "test_fraction": self.test_fraction,
+            "backend": self.backend,
+            "device": self.device,
         }
 
     @classmethod

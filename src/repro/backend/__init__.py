@@ -1,0 +1,206 @@
+"""Pluggable compute backends: resolution, availability, canonical specs.
+
+The models never import numpy-vs-torch directly; they ask this module for a
+:class:`Backend` and route their tensor math through it.  Selection
+precedence, everywhere a backend can be named:
+
+1. an explicit argument (CLI ``--backend`` / ``--device``, a config field,
+   a ``Backend`` instance passed through the API),
+2. the ``REPRO_BACKEND`` environment variable (``"torch"`` or
+   ``"torch:cuda"`` forms accepted),
+3. the numpy default.
+
+``torch`` is import-gated: ``import repro`` never touches it, and only an
+explicit request for the torch backend can raise — with a one-line
+:class:`BackendError`, not a traceback from deep inside a model.
+
+Backend identity matters beyond dispatch: the experiment cache hashes
+:func:`canonical_backend_spec` into every cell key so a torch run can never
+be served a numpy row (or vice versa).  That function is pure string work —
+it must stay total on machines where the named backend is not installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.backend.base import Array, Backend
+from repro.backend.numpy_backend import NumpyBackend
+
+#: Environment variable consulted when no explicit backend is named.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The process-wide numpy backend (stateless, so one instance serves all).
+NUMPY_BACKEND = NumpyBackend()
+
+
+class BackendError(ValueError):
+    """Unknown backend name, unavailable backend, or unsupported device."""
+
+
+def _make_numpy(device: Optional[str]) -> Backend:
+    if device not in (None, "cpu"):
+        raise BackendError(
+            f"backend 'numpy' does not support device {device!r} (only 'cpu')"
+        )
+    return NUMPY_BACKEND
+
+
+def _make_torch(device: Optional[str]) -> Backend:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        raise BackendError(
+            "backend 'torch' is not available: torch is not installed in "
+            "this environment (pip install torch)"
+        ) from None
+    from repro.backend.torch_backend import TorchBackend
+
+    try:
+        return TorchBackend(device)
+    except ValueError as exc:
+        raise BackendError(f"backend 'torch': {exc}") from exc
+
+
+#: Backend family name -> factory taking the (optional) device string.
+_FACTORIES: Dict[str, Callable[[Optional[str]], Backend]] = {
+    "numpy": _make_numpy,
+    "torch": _make_torch,
+}
+
+#: Instance cache so repeated resolution of one spec reuses the backend.
+_INSTANCES: Dict[Tuple[str, Optional[str]], Backend] = {}
+
+
+def register_backend(name: str, factory: Callable[[Optional[str]], Backend]) -> None:
+    """Register a third-party backend factory under ``name``.
+
+    The factory receives the requested device string (or ``None``) and must
+    return a :class:`Backend`; raising :class:`BackendError` is the correct
+    way to report unavailability.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Registered backend family names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually be constructed in this environment."""
+    reason = backend_unavailable_reason(name)
+    return reason is None
+
+
+def backend_unavailable_reason(name: str) -> Optional[str]:
+    """Why ``name`` cannot be used here (``None`` when it can)."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        return f"unknown backend {name!r}; registered: {', '.join(list_backends())}"
+    if key == "torch":
+        try:
+            import torch  # noqa: F401
+        except ImportError:
+            return "torch is not installed in this environment"
+    return None
+
+
+def _split_spec(spec: str) -> Tuple[str, Optional[str]]:
+    """Split ``"torch:cuda:0"`` into ``("torch", "cuda:0")``."""
+    name, sep, device = spec.partition(":")
+    return name.lower(), (device if sep else None)
+
+
+def default_backend_spec() -> str:
+    """The ambient backend spec: ``$REPRO_BACKEND`` if set, else ``"numpy"``."""
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+
+
+def get_backend(
+    spec: Union[str, Backend, None] = None, device: Optional[str] = None
+) -> Backend:
+    """Resolve a backend request to a live :class:`Backend` instance.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`Backend` instance (passed through), a ``"name"`` or
+        ``"name:device"`` string, or ``None`` to fall back to
+        ``$REPRO_BACKEND`` and then numpy.
+    device:
+        Device override; conflicts with a device embedded in ``spec``.
+
+    Raises
+    ------
+    BackendError
+        Unknown name, backend not installed, or unsupported device — always
+        with a one-line, actionable message.
+    """
+    if isinstance(spec, Backend):
+        if device is not None and device != spec.device:
+            raise BackendError(
+                f"backend instance is on device {spec.device!r} but device "
+                f"{device!r} was requested; construct a new backend instead"
+            )
+        return spec
+    name, spec_device = _split_spec(spec if spec else default_backend_spec())
+    if spec_device is not None and device is not None and spec_device != device:
+        raise BackendError(
+            f"conflicting devices: spec {spec!r} names {spec_device!r} but "
+            f"device={device!r} was also passed"
+        )
+    device = device if device is not None else spec_device
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {', '.join(list_backends())}"
+        )
+    cache_key = (name, device)
+    instance = _INSTANCES.get(cache_key)
+    if instance is None:
+        instance = factory(device)
+        _INSTANCES[cache_key] = instance
+    return instance
+
+
+def canonical_backend_spec(
+    spec: Union[str, Backend, None] = None, device: Optional[str] = None
+) -> str:
+    """The canonical identity string a (spec, device) request resolves to.
+
+    Pure string normalisation — never imports or constructs the backend —
+    so cache-key computation stays total even for backends that are not
+    installed in this process (mirroring how unknown model names are
+    tolerated by :func:`repro.api.registry.canonical_name`).  ``"numpy"``
+    stays bare; other families get an explicit device suffix with ``cpu``
+    as the default (``"torch"`` -> ``"torch:cpu"``).
+    """
+    if isinstance(spec, Backend):
+        return spec.spec
+    name, spec_device = _split_spec(spec if spec else default_backend_spec())
+    device = device if device is not None else spec_device
+    if name == "numpy":
+        return "numpy"
+    return f"{name}:{device if device else 'cpu'}"
+
+
+__all__ = [
+    "Array",
+    "Backend",
+    "BackendError",
+    "BACKEND_ENV_VAR",
+    "NUMPY_BACKEND",
+    "NumpyBackend",
+    "backend_available",
+    "backend_unavailable_reason",
+    "canonical_backend_spec",
+    "default_backend_spec",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

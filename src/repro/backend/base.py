@@ -1,0 +1,220 @@
+"""The array-ops protocol every compute backend implements.
+
+:class:`Backend` is the seam between the models' *algorithms* (sampling
+schedules, privacy accounting, update rules — all backend-independent) and
+their *tensor math* (matmuls, activations, scatter-adds — executed by numpy
+or torch).  The contract that keeps the reproduction honest:
+
+* **Parameters are backend-native.**  ``parameter``/``asarray`` move data
+  into the backend's array type; ``to_numpy`` moves it back at the public
+  surface (``model.embeddings``).  For :class:`~repro.backend.numpy_backend.
+  NumpyBackend` both directions are identities, so the default path is
+  bit-for-bit the historical code.
+* **Randomness stays on numpy Generator streams.**  ``gaussian``/``uniform``
+  draw from the caller's seeded ``numpy.random.Generator`` and convert the
+  result, so a fixed seed produces the *same* noise and initialisation on
+  every backend.  Backends therefore differ only in floating-point
+  arithmetic (kernel order, fused ops), which is what bounds the
+  cross-backend drift to a small rtol instead of "different experiment".
+* **Indices are plain integer arrays.**  ``gather``/``index_add_`` accept
+  numpy index arrays (what the samplers and walk engine produce) and handle
+  any device placement internally.
+
+Only the operations the seven models actually use are part of the protocol —
+this is an array-ops seam, not an autograd framework.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+#: A backend-native array.  ``numpy.ndarray`` for NumpyBackend, a
+#: ``torch.Tensor`` for TorchBackend; typed as ``Any`` because the whole
+#: point of the seam is that model code never names the concrete type.
+Array = Any
+
+
+class Backend(ABC):
+    """Abstract array-ops backend (see the module docstring for the contract)."""
+
+    #: Registry name of the backend family (``"numpy"``, ``"torch"``).
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def device(self) -> str:
+        """Device the backend computes on (``"cpu"``, ``"cuda"``, ...)."""
+
+    @property
+    def spec(self) -> str:
+        """Canonical ``name[:device]`` identity string.
+
+        This is what the experiment cache hashes into each cell key, so two
+        backends whose results may differ must never share a spec.  The CPU
+        numpy backend is simply ``"numpy"``; accelerator backends append
+        their device (``"torch:cpu"``, ``"torch:cuda"``).
+        """
+        return self.name if self.name == "numpy" else f"{self.name}:{self.device}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(spec={self.spec!r})"
+
+    # ------------------------------------------------------------------
+    # conversion and allocation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def asarray(self, x: Any) -> Array:
+        """Coerce ``x`` to a native float array on the backend's device."""
+
+    def parameter(self, x: Any) -> Array:
+        """Adopt an initialised (numpy) parameter as native, mutable state."""
+        return self.asarray(x)
+
+    @abstractmethod
+    def to_numpy(self, x: Array) -> np.ndarray:
+        """Materialise a native array as ``numpy.ndarray`` (float64)."""
+
+    @abstractmethod
+    def zeros(self, shape: Tuple[int, ...]) -> Array:
+        """A zero-filled native float array."""
+
+    @abstractmethod
+    def zeros_like(self, x: Array) -> Array:
+        """A zero-filled native array shaped like ``x``."""
+
+    @abstractmethod
+    def full_like(self, x: Array, value: float) -> Array:
+        """A constant-filled native array shaped like ``x``."""
+
+    # ------------------------------------------------------------------
+    # rows: gather / scatter
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def gather(self, x: Array, idx: Any) -> Array:
+        """Row selection ``x[idx]`` (``idx`` a numpy integer array)."""
+
+    @abstractmethod
+    def index_add_(self, target: Array, idx: Any, rows: Array) -> None:
+        """In-place scatter-add of ``rows`` into ``target[idx]``.
+
+        Repeated indices accumulate (``np.add.at`` semantics), which is what
+        the skip-gram family's sparse embedding updates rely on.
+        """
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def matmul(self, a: Array, b: Array) -> Array:
+        """Matrix product ``a @ b``."""
+
+    @abstractmethod
+    def transpose(self, x: Array) -> Array:
+        """2-D transpose ``x.T``."""
+
+    @abstractmethod
+    def rowwise_dot(self, a: Array, b: Array) -> Array:
+        """Per-row inner products: ``(n, d), (n, d) -> (n,)``."""
+
+    @abstractmethod
+    def batched_rowwise_dot(self, a: Array, b: Array) -> Array:
+        """Dot of each row against a bundle: ``(n, d), (n, k, d) -> (n, k)``."""
+
+    @abstractmethod
+    def weighted_rows_sum(self, coeff: Array, b: Array) -> Array:
+        """Coefficient-weighted bundle sum: ``(n, k), (n, k, d) -> (n, d)``."""
+
+    # ------------------------------------------------------------------
+    # activations and elementwise math
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sigmoid(self, x: Array) -> Array:
+        """Numerically stable logistic sigmoid."""
+
+    @abstractmethod
+    def log_sigmoid(self, x: Array) -> Array:
+        """``log(sigmoid(x))`` without intermediate underflow."""
+
+    @abstractmethod
+    def softmax(self, x: Array, axis: int = -1) -> Array:
+        """Softmax along ``axis`` with max-subtraction."""
+
+    @abstractmethod
+    def relu(self, x: Array) -> Array:
+        """Rectified linear unit."""
+
+    @abstractmethod
+    def tanh(self, x: Array) -> Array:
+        """Hyperbolic tangent."""
+
+    @abstractmethod
+    def exp(self, x: Array) -> Array:
+        """Elementwise exponential."""
+
+    @abstractmethod
+    def log(self, x: Array) -> Array:
+        """Elementwise natural logarithm."""
+
+    @abstractmethod
+    def sqrt(self, x: Array) -> Array:
+        """Elementwise square root."""
+
+    @abstractmethod
+    def clip(self, x: Array, lower: Optional[float], upper: Optional[float]) -> Array:
+        """Elementwise clamp to ``[lower, upper]`` (either bound optional)."""
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sum(self, x: Array, axis: Optional[int] = None) -> Array:
+        """Sum over all elements (``axis=None``) or one axis."""
+
+    @abstractmethod
+    def mean(self, x: Array, axis: Optional[int] = None) -> Array:
+        """Mean over all elements (``axis=None``) or one axis."""
+
+    def scalar(self, x: Array) -> float:
+        """A 0-d native value as a Python float."""
+        return float(x)
+
+    # ------------------------------------------------------------------
+    # norm-based row operations (shared by normalisation and DP clipping)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def normalize_rows_(self, x: Array, floor: float) -> None:
+        """In-place ``x[i] /= max(||x[i]||_2, floor)`` for every row."""
+
+    @abstractmethod
+    def clip_rows(self, x: Array, max_norm: float) -> Array:
+        """Per-row L2 clipping ``x[i] / max(1, ||x[i]||_2 / max_norm)``."""
+
+    @abstractmethod
+    def clip_global(self, x: Array, max_norm: float) -> Array:
+        """Whole-tensor L2 clipping to norm at most ``max_norm``."""
+
+    # ------------------------------------------------------------------
+    # randomness (always drawn from the caller's numpy Generator)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def gaussian(
+        self,
+        rng: np.random.Generator,
+        mean: float,
+        std: float,
+        shape: Tuple[int, ...],
+    ) -> Array:
+        """Seeded Gaussian draw, identical across backends for one stream."""
+
+    @abstractmethod
+    def uniform(
+        self,
+        rng: np.random.Generator,
+        low: float,
+        high: float,
+        shape: Tuple[int, ...],
+    ) -> Array:
+        """Seeded uniform draw, identical across backends for one stream."""

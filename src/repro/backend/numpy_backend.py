@@ -1,0 +1,177 @@
+"""The default NumPy compute backend — bit-for-bit the historical code.
+
+Every operation here is the *exact* numpy expression the models used before
+the backend seam existed (the stable activation implementations moved here
+from :mod:`repro.nn.functional`, which now delegates back).  ``asarray`` /
+``to_numpy`` are identities for float64 arrays, so routing the models
+through this backend changes no bytes: the golden-parity suite pins that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.privacy.clipping import clip_by_l2_norm, clip_rows_by_l2_norm
+
+# Sigmoid saturates numerically past |x| ~ 36 in float64; clipping the input
+# keeps exp() away from overflow without changing the value of the output.
+SIGMOID_CLIP = 500.0
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, stable for large positive and negative inputs."""
+    x = np.clip(np.asarray(x, dtype=np.float64), -SIGMOID_CLIP, SIGMOID_CLIP)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def stable_log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``log(sigmoid(x))`` computed without intermediate underflow."""
+    x = np.asarray(x, dtype=np.float64)
+    # log sigma(x) = -softplus(-x) = min(x, 0) - log1p(exp(-|x|))
+    return np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+
+
+def stable_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+class NumpyBackend(Backend):
+    """CPU numpy backend; the reference implementation of the protocol."""
+
+    name = "numpy"
+
+    @property
+    def device(self) -> str:
+        return "cpu"
+
+    # ------------------------------------------------------------------
+    # conversion and allocation
+    # ------------------------------------------------------------------
+    def asarray(self, x: Any) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def to_numpy(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+    def zeros(self, shape: Tuple[int, ...]) -> np.ndarray:
+        return np.zeros(shape)
+
+    def zeros_like(self, x: np.ndarray) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def full_like(self, x: np.ndarray, value: float) -> np.ndarray:
+        return np.full_like(x, float(value))
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def gather(self, x: np.ndarray, idx: Any) -> np.ndarray:
+        return x[idx]
+
+    def index_add_(self, target: np.ndarray, idx: Any, rows: np.ndarray) -> None:
+        np.add.at(target, np.asarray(idx, dtype=np.int64), rows)
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def transpose(self, x: np.ndarray) -> np.ndarray:
+        return x.T
+
+    def rowwise_dot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", a, b)
+
+    def batched_rowwise_dot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ikj->ik", a, b)
+
+    def weighted_rows_sum(self, coeff: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("ik,ikj->ij", coeff, b)
+
+    # ------------------------------------------------------------------
+    # activations and elementwise math
+    # ------------------------------------------------------------------
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return stable_sigmoid(x)
+
+    def log_sigmoid(self, x: np.ndarray) -> np.ndarray:
+        return stable_log_sigmoid(x)
+
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return stable_softmax(x, axis=axis)
+
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(np.asarray(x, dtype=np.float64))
+
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def log(self, x: np.ndarray) -> np.ndarray:
+        return np.log(x)
+
+    def sqrt(self, x: np.ndarray) -> np.ndarray:
+        return np.sqrt(x)
+
+    def clip(
+        self, x: np.ndarray, lower: Optional[float], upper: Optional[float]
+    ) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=np.float64), lower, upper)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, x: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+        return np.sum(x, axis=axis)
+
+    def mean(self, x: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+        return np.mean(x, axis=axis)
+
+    # ------------------------------------------------------------------
+    # norm-based row operations
+    # ------------------------------------------------------------------
+    def normalize_rows_(self, x: np.ndarray, floor: float) -> None:
+        norms = np.linalg.norm(x, axis=1, keepdims=True)
+        np.divide(x, np.maximum(norms, floor), out=x)
+
+    def clip_rows(self, x: np.ndarray, max_norm: float) -> np.ndarray:
+        return clip_rows_by_l2_norm(x, max_norm)
+
+    def clip_global(self, x: np.ndarray, max_norm: float) -> np.ndarray:
+        return clip_by_l2_norm(x, max_norm)
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def gaussian(
+        self,
+        rng: np.random.Generator,
+        mean: float,
+        std: float,
+        shape: Tuple[int, ...],
+    ) -> np.ndarray:
+        return rng.normal(mean, std, size=shape)
+
+    def uniform(
+        self,
+        rng: np.random.Generator,
+        low: float,
+        high: float,
+        shape: Tuple[int, ...],
+    ) -> np.ndarray:
+        return rng.uniform(low, high, size=shape)

@@ -1,0 +1,196 @@
+"""Optional PyTorch compute backend (CPU or CUDA).
+
+Importing this module requires ``torch``; :mod:`repro.backend` gates the
+import, so ``import repro`` works on torch-less machines and only an explicit
+``backend="torch"`` request can fail.
+
+Numerical contract (see :mod:`repro.backend.base`): all randomness is drawn
+from the caller's seeded numpy ``Generator`` and transferred, so a fixed seed
+yields the same initialisation and noise as the numpy backend; tensors are
+``float64`` by default, leaving kernel-order float differences as the only
+cross-backend drift (well inside the parity suite's rtol of 1e-5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+import torch
+
+from repro.backend.base import Backend
+
+
+class TorchBackend(Backend):
+    """Array ops on ``torch`` tensors, ``device=`` aware.
+
+    Parameters
+    ----------
+    device:
+        Anything ``torch.device`` accepts (``"cpu"``, ``"cuda"``,
+        ``"cuda:1"``); defaults to ``"cpu"``.  Requesting a CUDA device on a
+        machine without one fails here, at construction, with a one-line
+        message — not mid-training.
+    dtype:
+        Tensor dtype; ``float64`` by default so results track the numpy
+        reference closely.  Pass ``torch.float32`` to trade parity margin
+        for GPU throughput.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: Optional[str] = None, dtype: Any = None) -> None:
+        try:
+            self._device = torch.device(device if device is not None else "cpu")
+        except (RuntimeError, ValueError) as exc:
+            raise ValueError(f"invalid torch device {device!r}: {exc}") from exc
+        if self._device.type == "cuda" and not torch.cuda.is_available():
+            raise ValueError(
+                f"device {device!r} requested but CUDA is not available to torch"
+            )
+        self._dtype = dtype if dtype is not None else torch.float64
+
+    @property
+    def device(self) -> str:
+        return str(self._device)
+
+    # ------------------------------------------------------------------
+    # conversion and allocation
+    # ------------------------------------------------------------------
+    def asarray(self, x: Any) -> "torch.Tensor":
+        if isinstance(x, torch.Tensor):
+            return x.to(device=self._device, dtype=self._dtype)
+        return torch.as_tensor(
+            np.asarray(x, dtype=np.float64), dtype=self._dtype, device=self._device
+        )
+
+    def parameter(self, x: Any) -> "torch.Tensor":
+        # Clone so parameters never alias the numpy buffer they were
+        # initialised from (in-place updates must stay backend-local).
+        return self.asarray(x).clone()
+
+    def to_numpy(self, x: Any) -> np.ndarray:
+        if isinstance(x, torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def zeros(self, shape: Tuple[int, ...]) -> "torch.Tensor":
+        return torch.zeros(tuple(shape), dtype=self._dtype, device=self._device)
+
+    def zeros_like(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.zeros_like(x)
+
+    def full_like(self, x: "torch.Tensor", value: float) -> "torch.Tensor":
+        return torch.full_like(x, float(value))
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def _index(self, idx: Any) -> "torch.Tensor":
+        if isinstance(idx, torch.Tensor):
+            return idx.to(device=self._device, dtype=torch.int64)
+        return torch.as_tensor(
+            np.asarray(idx, dtype=np.int64), dtype=torch.int64, device=self._device
+        )
+
+    def gather(self, x: "torch.Tensor", idx: Any) -> "torch.Tensor":
+        return x[self._index(idx)]
+
+    def index_add_(self, target: "torch.Tensor", idx: Any, rows: "torch.Tensor") -> None:
+        target.index_add_(0, self._index(idx), self.asarray(rows))
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, a: "torch.Tensor", b: "torch.Tensor") -> "torch.Tensor":
+        return torch.matmul(a, b)
+
+    def transpose(self, x: "torch.Tensor") -> "torch.Tensor":
+        return x.transpose(0, 1)
+
+    def rowwise_dot(self, a: "torch.Tensor", b: "torch.Tensor") -> "torch.Tensor":
+        return torch.einsum("ij,ij->i", a, b)
+
+    def batched_rowwise_dot(self, a: "torch.Tensor", b: "torch.Tensor") -> "torch.Tensor":
+        return torch.einsum("ij,ikj->ik", a, b)
+
+    def weighted_rows_sum(self, coeff: "torch.Tensor", b: "torch.Tensor") -> "torch.Tensor":
+        return torch.einsum("ik,ikj->ij", coeff, b)
+
+    # ------------------------------------------------------------------
+    # activations and elementwise math
+    # ------------------------------------------------------------------
+    def sigmoid(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.sigmoid(self.asarray(x))
+
+    def log_sigmoid(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.nn.functional.logsigmoid(self.asarray(x))
+
+    def softmax(self, x: "torch.Tensor", axis: int = -1) -> "torch.Tensor":
+        return torch.softmax(self.asarray(x), dim=axis)
+
+    def relu(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.relu(self.asarray(x))
+
+    def tanh(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.tanh(self.asarray(x))
+
+    def exp(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.exp(x)
+
+    def log(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.log(x)
+
+    def sqrt(self, x: "torch.Tensor") -> "torch.Tensor":
+        return torch.sqrt(x)
+
+    def clip(
+        self, x: "torch.Tensor", lower: Optional[float], upper: Optional[float]
+    ) -> "torch.Tensor":
+        return torch.clamp(self.asarray(x), min=lower, max=upper)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, x: "torch.Tensor", axis: Optional[int] = None) -> "torch.Tensor":
+        return torch.sum(x) if axis is None else torch.sum(x, dim=axis)
+
+    def mean(self, x: "torch.Tensor", axis: Optional[int] = None) -> "torch.Tensor":
+        return torch.mean(x) if axis is None else torch.mean(x, dim=axis)
+
+    # ------------------------------------------------------------------
+    # norm-based row operations
+    # ------------------------------------------------------------------
+    def normalize_rows_(self, x: "torch.Tensor", floor: float) -> None:
+        norms = torch.linalg.vector_norm(x, dim=1, keepdim=True)
+        x.div_(torch.clamp(norms, min=floor))
+
+    def clip_rows(self, x: "torch.Tensor", max_norm: float) -> "torch.Tensor":
+        norms = torch.linalg.vector_norm(x, dim=1)
+        scales = torch.clamp(norms / max_norm, min=1.0)
+        return x / scales[:, None]
+
+    def clip_global(self, x: "torch.Tensor", max_norm: float) -> "torch.Tensor":
+        norm = float(torch.linalg.vector_norm(x))
+        return x / max(1.0, norm / max_norm)
+
+    # ------------------------------------------------------------------
+    # randomness (numpy Generator streams, transferred to the device)
+    # ------------------------------------------------------------------
+    def gaussian(
+        self,
+        rng: np.random.Generator,
+        mean: float,
+        std: float,
+        shape: Tuple[int, ...],
+    ) -> "torch.Tensor":
+        return self.asarray(rng.normal(mean, std, size=tuple(shape)))
+
+    def uniform(
+        self,
+        rng: np.random.Generator,
+        low: float,
+        high: float,
+        shape: Tuple[int, ...],
+    ) -> "torch.Tensor":
+        return self.asarray(rng.uniform(low, high, size=tuple(shape)))

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import RdpAccountant
@@ -51,8 +52,14 @@ class DPARConfig:
     batch_size: int = 256
     epsilon: float = 6.0
     delta: float = 1e-5
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
         for name in (
             "feature_dim",
             "embedding_dim",
@@ -95,6 +102,7 @@ class DPAR(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: split the seed stream and calibrate the noise."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         feat_rng, noise_rng, weight_rng, train_rng = spawn_rngs(self._rng, 4)
         self._feat_rng = feat_rng
         self._noise_rng = noise_rng
@@ -103,6 +111,7 @@ class DPAR(EstimatorMixin):
         self.weight = xavier_uniform(
             (cfg.feature_dim * (cfg.propagation_steps + 1), cfg.embedding_dim),
             rng=weight_rng,
+            backend=self.backend_,
         )
         self.accountant = RdpAccountant(self._calibrated_sigma())
 
@@ -162,21 +171,29 @@ class DPAR(EstimatorMixin):
             noisy = current + self._noise_rng.normal(0.0, noise_std, size=current.shape)
             self.accountant.step(1.0)
             stages.append(noisy)
-        return np.concatenate(stages, axis=1)
+        # Propagation runs on numpy (one-shot preprocessing, identical noise
+        # on every backend); the released features become backend-native.
+        return self.backend_.asarray(np.concatenate(stages, axis=1))
 
     # ------------------------------------------------------------------
     @property
     def embeddings(self) -> np.ndarray:
         """Node embeddings: learned projection of the private features."""
+        return self.backend_.to_numpy(self._projected())
+
+    def _projected(self) -> np.ndarray:
         if self._private_features is None:
             raise RuntimeError("call fit() before accessing embeddings")
-        return self._private_features @ self.weight
+        return self.backend_.matmul(self._private_features, self.weight)
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Inner-product link scores on the learned embeddings."""
-        emb = self.embeddings
+        be = self.backend_
+        emb = self._projected()
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum("ij,ij->i", emb[pairs[:, 0]], emb[pairs[:, 1]])
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(emb, pairs[:, 0]), be.gather(emb, pairs[:, 1]))
+        )
 
     def privacy_spent(self):
         """Converted (epsilon, delta) spend of the propagation release."""
@@ -202,5 +219,6 @@ class DPAR(EstimatorMixin):
             history=self.history,
             rng=self._train_rng,
             callbacks=callbacks,
+            backend=self.backend_,
         )
         return self

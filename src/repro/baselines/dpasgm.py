@@ -20,7 +20,6 @@ from repro.baselines.dpsgm import DPSGM, DPSGMConfig
 from repro.core.generator import GeneratorPair
 from repro.graph.graph import Graph
 from repro.nn.functional import sigmoid
-from repro.privacy.clipping import clip_rows_by_l2_norm
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
 
@@ -76,6 +75,7 @@ class DPASGM(DPSGM):
             clip_norm=cfg.clip_norm,
             dp_enabled=False,  # the plain adversarial module has no noise terms
             rng=gen_rng,
+            backend=self.backend_,
         )
 
     def _pair_gradients(self, pairs: np.ndarray, positive: bool):
@@ -86,19 +86,20 @@ class DPASGM(DPSGM):
         folded into a DP mechanism, hence the extra DPSGD noise added by the
         parent class.
         """
+        be = self.backend_
         grad_in, grad_out = super()._pair_gradients(pairs, positive)
         cfg: DPASGMConfig = self.config  # type: ignore[assignment]
         count = pairs.shape[0]
         fake_vj, fake_vi = self.generators.generate_pairs(count)
-        vi = self.w_in[pairs[:, 0]]
-        vj = self.w_out[pairs[:, 1]]
-        f1 = sigmoid(np.einsum("ij,ij->i", vi, fake_vj))
-        f2 = sigmoid(np.einsum("ij,ij->i", fake_vi, vj))
+        vi = be.gather(self.w_in, pairs[:, 0])
+        vj = be.gather(self.w_out, pairs[:, 1])
+        f1 = sigmoid(be.rowwise_dot(vi, fake_vj), backend=be)
+        f2 = sigmoid(be.rowwise_dot(fake_vi, vj), backend=be)
         grad_in = grad_in + cfg.adversarial_weight * f1[:, None] * fake_vj
         grad_out = grad_out + cfg.adversarial_weight * f2[:, None] * fake_vi
         return (
-            clip_rows_by_l2_norm(grad_in, cfg.clip_norm),
-            clip_rows_by_l2_norm(grad_out, cfg.clip_norm),
+            be.clip_rows(grad_in, cfg.clip_norm),
+            be.clip_rows(grad_out, cfg.clip_norm),
         )
 
     def _on_epoch_end(self, epoch: int, losses) -> None:
@@ -112,8 +113,8 @@ class DPASGM(DPSGM):
             batch = self.sampler.sample()
             pairs = batch.positive_edges
             self.generators.train_step(
-                self.w_in[pairs[:, 0]],
-                self.w_out[pairs[:, 1]],
+                self.backend_.gather(self.w_in, pairs[:, 0]),
+                self.backend_.gather(self.w_out, pairs[:, 1]),
                 learning_rate=cfg.generator_learning_rate,
             )
         super()._on_epoch_end(epoch, losses)

@@ -24,12 +24,12 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler
 from repro.nn.functional import sigmoid
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
-from repro.privacy.clipping import clip_rows_by_l2_norm
 from repro.train import PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
@@ -50,8 +50,14 @@ class DPGGANConfig:
     noise_multiplier: float = 5.0
     epsilon: float = 6.0
     delta: float = 1e-5
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
         for name in ("embedding_dim", "batch_size", "num_epochs", "batches_per_epoch"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -89,10 +95,15 @@ class DPGGAN(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: initialise latents, generator, sampler, budget."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         init_rng, sample_rng, noise_rng, gen_rng = spawn_rngs(self._rng, 4)
         dim = self.config.embedding_dim
-        self.latent = normal_init((graph.num_nodes, dim), std=0.1, rng=init_rng)
-        self.generator_weight = xavier_uniform((dim, dim), rng=gen_rng)
+        self.latent = normal_init(
+            (graph.num_nodes, dim), std=0.1, rng=init_rng, backend=self.backend_
+        )
+        self.generator_weight = xavier_uniform(
+            (dim, dim), rng=gen_rng, backend=self.backend_
+        )
         self._noise_rng = noise_rng
         self._gen_rng = gen_rng
         self.sampler = EdgeSampler(
@@ -105,8 +116,8 @@ class DPGGAN(EstimatorMixin):
 
     @property
     def embeddings(self) -> np.ndarray:
-        """Latent node vectors used for link prediction."""
-        return self.latent
+        """Latent node vectors used for link prediction, as numpy."""
+        return self.backend_.to_numpy(self.latent)
 
     def privacy_spent(self) -> PrivacySpent:
         """Converted (epsilon, delta) spend so far."""
@@ -114,59 +125,63 @@ class DPGGAN(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Link-prediction scores from latent inner products."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum(
-            "ij,ij->i", self.latent[pairs[:, 0]], self.latent[pairs[:, 1]]
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(self.latent, pairs[:, 0]), be.gather(self.latent, pairs[:, 1]))
         )
 
     # ------------------------------------------------------------------
     def _generate_fake(self, count: int) -> np.ndarray:
-        noise = self._gen_rng.normal(0.0, 1.0, size=(count, self.config.embedding_dim))
-        return np.tanh(noise @ self.generator_weight)
+        be = self.backend_
+        noise = be.gaussian(self._gen_rng, 0.0, 1.0, (count, self.config.embedding_dim))
+        return be.tanh(be.matmul(noise, self.generator_weight))
 
     def _discriminator_step(self) -> None:
         """DPSGD update of the latent vectors on real vs fake pairs."""
         cfg = self.config
+        be = self.backend_
         batch = self.sampler.sample()
         pairs = batch.positive_edges
         count = pairs.shape[0]
-        zi = self.latent[pairs[:, 0]]
-        zj = self.latent[pairs[:, 1]]
+        zi = be.gather(self.latent, pairs[:, 0])
+        zj = be.gather(self.latent, pairs[:, 1])
         fake = self._generate_fake(count)
 
-        real_scores = sigmoid(np.einsum("ij,ij->i", zi, zj))
-        fake_scores = sigmoid(np.einsum("ij,ij->i", zi, fake))
+        real_scores = sigmoid(be.rowwise_dot(zi, zj), backend=be)
+        fake_scores = sigmoid(be.rowwise_dot(zi, fake), backend=be)
         # Maximise log D(real) + log(1 - D(fake)) w.r.t. the latent vectors.
         grad_zi = (1.0 - real_scores)[:, None] * zj - fake_scores[:, None] * fake
         grad_zj = (1.0 - real_scores)[:, None] * zi
-        grad_zi = clip_rows_by_l2_norm(grad_zi, cfg.clip_norm)
-        grad_zj = clip_rows_by_l2_norm(grad_zj, cfg.clip_norm)
+        grad_zi = be.clip_rows(grad_zi, cfg.clip_norm)
+        grad_zj = be.clip_rows(grad_zj, cfg.clip_norm)
 
         # DPSGD over the latent matrix: every updated row receives an
         # independent draw calibrated to the B*C batch-sum sensitivity.
         noise_std = count * cfg.clip_norm * cfg.noise_multiplier
-        noise_i = self._noise_rng.normal(0.0, noise_std, size=grad_zi.shape)
-        noise_j = self._noise_rng.normal(0.0, noise_std, size=grad_zj.shape)
+        noise_i = be.gaussian(self._noise_rng, 0.0, noise_std, tuple(grad_zi.shape))
+        noise_j = be.gaussian(self._noise_rng, 0.0, noise_std, tuple(grad_zj.shape))
         lr = cfg.learning_rate / count
-        np.add.at(self.latent, pairs[:, 0], lr * (grad_zi + noise_i / count))
-        np.add.at(self.latent, pairs[:, 1], lr * (grad_zj + noise_j / count))
+        be.index_add_(self.latent, pairs[:, 0], lr * (grad_zi + noise_i / count))
+        be.index_add_(self.latent, pairs[:, 1], lr * (grad_zj + noise_j / count))
         self.accountant.step(self.sampler.edge_sampling_probability)
 
     def _generator_step(self) -> None:
         """Non-private generator update (post-processing of the latent state)."""
         cfg = self.config
+        be = self.backend_
         batch = self.sampler.sample()
         pairs = batch.positive_edges
         count = pairs.shape[0]
-        zi = self.latent[pairs[:, 0]]
-        noise = self._gen_rng.normal(0.0, 1.0, size=(count, cfg.embedding_dim))
-        pre = noise @ self.generator_weight
-        fake = np.tanh(pre)
-        fake_scores = sigmoid(np.einsum("ij,ij->i", zi, fake))
+        zi = be.gather(self.latent, pairs[:, 0])
+        noise = be.gaussian(self._gen_rng, 0.0, 1.0, (count, cfg.embedding_dim))
+        pre = be.matmul(noise, self.generator_weight)
+        fake = be.tanh(pre)
+        fake_scores = sigmoid(be.rowwise_dot(zi, fake), backend=be)
         # Generator maximises log D(fake): gradient ascent through tanh.
         grad_fake = (1.0 - fake_scores)[:, None] * zi
         grad_pre = grad_fake * (1.0 - fake**2)
-        grad_weight = noise.T @ grad_pre / count
+        grad_weight = be.matmul(be.transpose(noise), grad_pre) / count
         self.generator_weight += cfg.generator_learning_rate * grad_weight
 
     def fit(self, graph: Optional[Graph] = None, callbacks=()) -> "DPGGAN":

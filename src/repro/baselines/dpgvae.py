@@ -20,12 +20,12 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler
 from repro.nn.functional import sigmoid
 from repro.nn.init import normal_init, xavier_uniform
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
-from repro.privacy.clipping import clip_by_l2_norm
 from repro.train import PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
@@ -47,8 +47,14 @@ class DPGVAEConfig:
     epsilon: float = 6.0
     delta: float = 1e-5
     kl_weight: float = 1e-3
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
         for name in (
             "feature_dim",
             "embedding_dim",
@@ -92,17 +98,21 @@ class DPGVAE(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``; the (privatised) GCN aggregation happens here."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
+        be = self.backend_
         feat_rng, weight_rng, sample_rng, noise_rng = spawn_rngs(self._rng, 4)
         cfg = self.config
         # Random node features, as in the paper's feature-less evaluation.
         self.features = normal_init(
-            (graph.num_nodes, cfg.feature_dim), std=1.0, rng=feat_rng
+            (graph.num_nodes, cfg.feature_dim), std=1.0, rng=feat_rng, backend=be
         )
-        self.weight_mu = xavier_uniform((cfg.feature_dim, cfg.embedding_dim), rng=weight_rng)
+        self.weight_mu = xavier_uniform(
+            (cfg.feature_dim, cfg.embedding_dim), rng=weight_rng, backend=be
+        )
         self.weight_logvar = xavier_uniform(
-            (cfg.feature_dim, cfg.embedding_dim), rng=weight_rng
+            (cfg.feature_dim, cfg.embedding_dim), rng=weight_rng, backend=be
         )
-        self._adj_norm = graph.normalized_adjacency()
+        self._adj_norm = be.asarray(graph.normalized_adjacency())
         # The released embeddings must not leak the raw adjacency: the GCN
         # aggregation itself is privatised once with unit node-level
         # sensitivity (a removed node's unit-norm feature enters each
@@ -115,9 +125,9 @@ class DPGVAE(EstimatorMixin):
             sampling_rate=1.0,
             num_steps=1,
         )
-        aggregated = self._adj_norm @ self.features
-        self._aggregated = aggregated + noise_rng.normal(
-            0.0, aggregation_sigma, size=aggregated.shape
+        aggregated = be.matmul(self._adj_norm, self.features)
+        self._aggregated = aggregated + be.gaussian(
+            noise_rng, 0.0, aggregation_sigma, tuple(aggregated.shape)
         )
         self._noise_rng = noise_rng
         self.sampler = EdgeSampler(
@@ -129,8 +139,12 @@ class DPGVAE(EstimatorMixin):
     # ------------------------------------------------------------------
     @property
     def embeddings(self) -> np.ndarray:
-        """Mean latent embeddings ``A_hat X W_mu``."""
-        return self._aggregated @ self.weight_mu
+        """Mean latent embeddings ``A_hat X W_mu``, as a numpy array."""
+        return self.backend_.to_numpy(self._latent_means())
+
+    def _latent_means(self) -> np.ndarray:
+        """Backend-native ``A_hat X W_mu``."""
+        return self.backend_.matmul(self._aggregated, self.weight_mu)
 
     def privacy_spent(self) -> PrivacySpent:
         """Converted (epsilon, delta) spend so far."""
@@ -138,36 +152,42 @@ class DPGVAE(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Inner-product decoder scores."""
-        emb = self.embeddings
+        be = self.backend_
+        emb = self._latent_means()
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum("ij,ij->i", emb[pairs[:, 0]], emb[pairs[:, 1]])
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(emb, pairs[:, 0]), be.gather(emb, pairs[:, 1]))
+        )
 
     # ------------------------------------------------------------------
     def _train_step(self) -> None:
         """One DPSGD update of the encoder mean weight."""
         cfg = self.config
+        be = self.backend_
         batch = self.sampler.sample()
         pos = batch.positive_edges
         neg = batch.negative_pairs
         pairs = np.vstack([pos, neg])
-        labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
+        labels = be.asarray(np.concatenate([np.ones(len(pos)), np.zeros(len(neg))]))
 
-        emb = self.embeddings
-        zi = emb[pairs[:, 0]]
-        zj = emb[pairs[:, 1]]
-        probs = sigmoid(np.einsum("ij,ij->i", zi, zj))
+        emb = self._latent_means()
+        zi = be.gather(emb, pairs[:, 0])
+        zj = be.gather(emb, pairs[:, 1])
+        probs = sigmoid(be.rowwise_dot(zi, zj), backend=be)
         # d(BCE)/d(score) = probs - labels; chain through both endpoints.
         residual = (probs - labels)[:, None]
-        agg_i = self._aggregated[pairs[:, 0]]
-        agg_j = self._aggregated[pairs[:, 1]]
-        grad_weight = agg_i.T @ (residual * zj) + agg_j.T @ (residual * zi)
+        agg_i = be.gather(self._aggregated, pairs[:, 0])
+        agg_j = be.gather(self._aggregated, pairs[:, 1])
+        grad_weight = be.matmul(be.transpose(agg_i), residual * zj) + be.matmul(
+            be.transpose(agg_j), residual * zi
+        )
         grad_weight /= pairs.shape[0]
         # KL regulariser towards a standard normal prior on the weights.
         grad_weight += cfg.kl_weight * self.weight_mu
 
-        clipped = clip_by_l2_norm(grad_weight, cfg.clip_norm)
+        clipped = be.clip_global(grad_weight, cfg.clip_norm)
         noise_std = pairs.shape[0] * cfg.clip_norm * cfg.noise_multiplier
-        noise = self._noise_rng.normal(0.0, noise_std, size=clipped.shape)
+        noise = be.gaussian(self._noise_rng, 0.0, noise_std, tuple(clipped.shape))
         self.weight_mu -= cfg.learning_rate * (clipped + noise / pairs.shape[0])
         self.accountant.step(self.sampler.edge_sampling_probability)
 

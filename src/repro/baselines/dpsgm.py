@@ -18,12 +18,12 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler, check_negative_distribution
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
 from repro.privacy.accountant import PrivacySpent, RdpAccountant
-from repro.privacy.clipping import clip_rows_by_l2_norm
 from repro.train import BudgetExhausted, PrivacyBudget, TrainingLoop
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
@@ -45,9 +45,15 @@ class DPSGMConfig:
     epsilon: float = 6.0
     delta: float = 1e-5
     negative_distribution: str = "uniform"
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_negative_distribution(self.negative_distribution)
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
         for name in (
             "embedding_dim",
             "num_negatives",
@@ -91,10 +97,15 @@ class DPSGM(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: initialise embeddings, sampler and accountant."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         init_rng, sample_rng, noise_rng = spawn_rngs(self._rng, 3)
         dim = self.config.embedding_dim
-        self.w_in = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
-        self.w_out = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
+        self.w_in = uniform_embedding(
+            graph.num_nodes, dim, rng=init_rng, backend=self.backend_
+        )
+        self.w_out = uniform_embedding(
+            graph.num_nodes, dim, rng=init_rng, backend=self.backend_
+        )
         self._noise_rng = noise_rng
         self.sampler = EdgeSampler(
             graph,
@@ -111,8 +122,8 @@ class DPSGM(EstimatorMixin):
     # ------------------------------------------------------------------
     @property
     def embeddings(self) -> np.ndarray:
-        """Released node embeddings."""
-        return self.w_in
+        """Released node embeddings, as a numpy array."""
+        return self.backend_.to_numpy(self.w_in)
 
     def privacy_spent(self) -> PrivacySpent:
         """Converted (epsilon, delta) spend so far."""
@@ -120,36 +131,42 @@ class DPSGM(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Link-prediction scores."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum("ij,ij->i", self.w_in[pairs[:, 0]], self.w_in[pairs[:, 1]])
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(self.w_in, pairs[:, 0]), be.gather(self.w_in, pairs[:, 1]))
+        )
 
     # ------------------------------------------------------------------
     def _pair_gradients(self, pairs: np.ndarray, positive: bool):
         """Per-pair skip-gram ascent gradients (input-row, output-row)."""
-        vi = self.w_in[pairs[:, 0]]
-        vj = self.w_out[pairs[:, 1]]
-        scores = np.einsum("ij,ij->i", vi, vj)
-        coeff = (1.0 - sigmoid(scores)) if positive else -sigmoid(scores)
+        be = self.backend_
+        vi = be.gather(self.w_in, pairs[:, 0])
+        vj = be.gather(self.w_out, pairs[:, 1])
+        scores = be.rowwise_dot(vi, vj)
+        sig = sigmoid(scores, backend=be)
+        coeff = (1.0 - sig) if positive else -sig
         return coeff[:, None] * vj, coeff[:, None] * vi
 
     def _dpsgd_update(self, pairs: np.ndarray, positive: bool, rate: float) -> None:
         """Clip per-pair grads, add BC-calibrated noise to the sum, average, apply."""
         cfg = self.config
+        be = self.backend_
         count = pairs.shape[0]
         grad_in, grad_out = self._pair_gradients(pairs, positive)
-        grad_in = clip_rows_by_l2_norm(grad_in, cfg.clip_norm)
-        grad_out = clip_rows_by_l2_norm(grad_out, cfg.clip_norm)
+        grad_in = be.clip_rows(grad_in, cfg.clip_norm)
+        grad_out = be.clip_rows(grad_out, cfg.clip_norm)
         # Sensitivity of the batch sum is B*C (Section III-B), so the noise
         # standard deviation is B * C * sigma.  DPSGD perturbs the full
         # gradient of the embedding matrix, i.e. every updated row receives an
         # independent noise draw of that magnitude before the average.
         noise_std = count * cfg.clip_norm * cfg.noise_multiplier
-        noise_in = self._noise_rng.normal(0.0, noise_std, size=grad_in.shape)
-        noise_out = self._noise_rng.normal(0.0, noise_std, size=grad_out.shape)
+        noise_in = be.gaussian(self._noise_rng, 0.0, noise_std, tuple(grad_in.shape))
+        noise_out = be.gaussian(self._noise_rng, 0.0, noise_std, tuple(grad_out.shape))
         update_in = (grad_in + noise_in / count) * (cfg.learning_rate / count)
         update_out = (grad_out + noise_out / count) * (cfg.learning_rate / count)
-        np.add.at(self.w_in, pairs[:, 0], update_in)
-        np.add.at(self.w_out, pairs[:, 1], update_out)
+        be.index_add_(self.w_in, pairs[:, 0], update_in)
+        be.index_add_(self.w_out, pairs[:, 1], update_out)
         self.accountant.step(rate)
 
     def _train_batch(self, epoch: int, step: int) -> None:

@@ -16,7 +16,12 @@ will schedule against; the key and manifest formats are versioned
 (:data:`CACHE_SCHEMA_VERSION`) and stable.
 """
 
-from repro.cache.keys import CACHE_SCHEMA_VERSION, canonical_cell_dict, cell_key
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    canonical_cell_dict,
+    cell_backend_spec,
+    cell_key,
+)
 from repro.cache.manifest import CacheManifest
 from repro.cache.store import (
     CacheLike,
@@ -33,6 +38,7 @@ __all__ = [
     "CacheStats",
     "ResultStore",
     "canonical_cell_dict",
+    "cell_backend_spec",
     "cell_key",
     "default_cache_dir",
     "resolve_store",

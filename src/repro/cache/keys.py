@@ -7,7 +7,11 @@ form (:func:`canonical_cell_dict`) fixes every source of key instability:
 * dict ordering (keys are sorted at serialisation time);
 * numpy scalars vs Python scalars (coerced via :func:`repro.utils.to_plain`);
 * model aliases (``"AdvSGM"``/``"advsgm"`` resolve to one registry key);
-* int-vs-float epsilon (coerced to ``float``) and ``-0.0`` aliasing.
+* int-vs-float epsilon (coerced to ``float``) and ``-0.0`` aliasing;
+* compute-backend identity: the *resolved* backend spec (cell field, model
+  override, ``$REPRO_BACKEND``, then the numpy default — see
+  :func:`cell_backend_spec`) is hashed into every key, so a torch run can
+  never be served a cached numpy row or vice versa.
 
 The schema version is hashed *into* the key, so entries written under an
 older layout can never shadow a current key; the store additionally verifies
@@ -22,12 +26,33 @@ from typing import Any, Dict, Mapping, Union
 
 from repro.api.registry import canonical_name
 from repro.api.spec import ExperimentCell
+from repro.backend import canonical_backend_spec
 from repro.utils.serialization import canonical_json, to_plain
 
 #: Version of the on-disk entry layout *and* of the hashed canonical form.
 #: Bump it whenever either changes; old entries then become invisible
 #: (different keys) and are ignored even if probed directly (manifest check).
-CACHE_SCHEMA_VERSION = 1
+#: v2: cells carry ``backend``/``device`` and the resolved backend spec is
+#: part of the hashed form (numpy/torch results can no longer alias).
+CACHE_SCHEMA_VERSION = 2
+
+
+def cell_backend_spec(cell: Union[ExperimentCell, Mapping[str, Any]]) -> str:
+    """The canonical backend spec one cell's computation resolves to.
+
+    Precedence mirrors execution (:func:`repro.experiments.runners.
+    _compute_cell`): the cell-level ``backend``/``device`` win over a
+    ``backend``/``device`` entry in the model overrides, which wins over the
+    ambient ``$REPRO_BACKEND``/numpy default.  Pure string normalisation —
+    stays total for backends not installed in this process, exactly like
+    :func:`~repro.api.registry.canonical_name` for unknown models.
+    """
+    data = cell.to_dict() if isinstance(cell, ExperimentCell) else dict(cell)
+    model = data.get("model") or {}
+    overrides = dict(model.get("overrides") or {}) if isinstance(model, Mapping) else {}
+    backend = data.get("backend") or overrides.get("backend")
+    device = data.get("device") or overrides.get("device")
+    return canonical_backend_spec(backend, device)
 
 
 def canonical_cell_dict(cell: Union[ExperimentCell, Mapping[str, Any]]) -> Dict[str, Any]:
@@ -44,6 +69,19 @@ def canonical_cell_dict(cell: Union[ExperimentCell, Mapping[str, Any]]) -> Dict[
         model["name"] = canonical_name(str(model["name"]))
     if plain.get("epsilon") is not None:
         plain["epsilon"] = float(plain["epsilon"])
+    # Replace the raw (possibly None) backend/device fields with the spec
+    # the computation actually resolves to, so "unset under $REPRO_BACKEND=
+    # torch", "backend='torch'" and a backend named via model overrides all
+    # hash identically — and differently from any numpy run.  The raw
+    # entries are stripped once resolved: they are placement requests, and
+    # the resolved spec is their complete canonical form.
+    plain["backend"] = cell_backend_spec(data)
+    plain.pop("device", None)
+    if isinstance(model, dict):
+        overrides = model.get("overrides")
+        if isinstance(overrides, dict):
+            overrides.pop("backend", None)
+            overrides.pop("device", None)
     return plain
 
 

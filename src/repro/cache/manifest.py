@@ -38,6 +38,11 @@ class CacheManifest:
         ISO-8601 UTC timestamp of the write.
     has_embeddings:
         Whether an embeddings array is stored alongside the row.
+    backend:
+        Canonical compute-backend spec the result was computed under
+        (``"numpy"``, ``"torch:cpu"``, ...).  Also hashed into the key via
+        the canonical cell dict; recorded here so a report can show it
+        without recomputing the resolution.
     """
 
     key: str
@@ -47,6 +52,7 @@ class CacheManifest:
     wall_time_s: float = 0.0
     created_at: str = field(default="")
     has_embeddings: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if not self.created_at:

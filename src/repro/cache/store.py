@@ -24,7 +24,12 @@ from typing import Any, Dict, Iterator, Optional, Union
 import numpy as np
 
 from repro.api.spec import ExperimentCell
-from repro.cache.keys import CACHE_SCHEMA_VERSION, canonical_cell_dict, cell_key
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    canonical_cell_dict,
+    cell_backend_spec,
+    cell_key,
+)
 from repro.cache.manifest import CacheManifest, package_version
 from repro.utils.serialization import to_plain
 
@@ -203,6 +208,7 @@ class ResultStore:
             package_version=package_version(),
             wall_time_s=float(wall_time),
             has_embeddings=embeddings is not None,
+            backend=cell_backend_spec(cell),
         )
         payload = json.dumps(
             {"manifest": manifest.to_dict(), "row": to_plain(row)},

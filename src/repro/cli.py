@@ -5,7 +5,10 @@ Subcommands
 ``datasets list``
     The synthetic dataset analogues and the paper datasets they stand in for.
 ``models list``
-    Every registered estimator with its paper section.
+    Every registered estimator with its paper section (plus which compute
+    backends are usable in this environment).
+``backends list``
+    The compute backends (numpy / torch) and their availability here.
 ``train``
     Train one registered model on one dataset (``--set field=value`` overrides
     any config dataclass field; ``--out`` saves the embeddings as ``.npz``).
@@ -29,8 +32,10 @@ Examples
 ::
 
     python -m repro datasets list
+    python -m repro backends list
     python -m repro train --model advsgm --dataset ppi --epsilon 6 \
         --set num_epochs=2 --scale 0.15 --out emb.npz
+    python -m repro train --model sgm --dataset ppi --backend torch --device cpu
     python -m repro evaluate --model dpar --dataset wiki --epsilon 4 \
         --task node_clustering --preset smoke
     python -m repro experiment fig3 --dataset ppi --workers 4 --cache-dir .cache
@@ -47,6 +52,13 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api.registry import config_field_names, get_entry, list_models, make_model
+from repro.backend import (
+    BackendError,
+    backend_unavailable_reason,
+    default_backend_spec,
+    get_backend,
+    list_backends,
+)
 from repro.graph.datasets import get_spec as get_dataset_spec
 from repro.graph.datasets import list_datasets, load_dataset
 
@@ -75,6 +87,32 @@ def _check_dataset_or_exit(name: str) -> None:
         get_dataset_spec(name)
     except KeyError as exc:
         raise SystemExit(exc.args[0])
+
+
+def _check_backend_or_exit(args: argparse.Namespace) -> None:
+    """Validate the backend/device request early, with a one-line message.
+
+    Runs for every command that will train: an explicit ``--backend`` /
+    ``--device`` (or an ambient ``$REPRO_BACKEND``) that names an unknown,
+    uninstalled or device-incompatible backend must fail before any dataset
+    or model work starts — and without a traceback.
+    """
+    try:
+        get_backend(getattr(args, "backend", None), getattr(args, "device", None))
+    except BackendError as exc:
+        raise SystemExit(str(exc))
+
+
+def _backend_availability_lines() -> list:
+    """Human-readable availability of every registered backend."""
+    lines = []
+    default_family = default_backend_spec().partition(":")[0].lower()
+    for name in list_backends():
+        reason = backend_unavailable_reason(name)
+        status = "available" if reason is None else f"unavailable ({reason})"
+        marker = "  [default]" if name == default_family else ""
+        lines.append(f"{name:<8}{status}{marker}")
+    return lines
 
 
 def _make_model_or_exit(name: str, **kwargs):
@@ -167,6 +205,17 @@ def _cmd_models(args: argparse.Namespace) -> int:
                 f"{entry.name:<14}{entry.cls.__name__:<22}"
                 f"{'yes' if entry.private else 'no':<9}{entry.paper}"
             )
+        print()
+        print("backends: " + "; ".join(_backend_availability_lines()))
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(f"default backend: {default_backend_spec()} "
+              f"(precedence: --backend > config > $REPRO_BACKEND > numpy)")
+        for line in _backend_availability_lines():
+            print(f"  {line}")
     return 0
 
 
@@ -196,12 +245,20 @@ def _streaming_overrides(args: argparse.Namespace, model_name: str) -> Dict[str,
 
 def _cmd_train(args: argparse.Namespace) -> int:
     entry = _entry_or_exit(args.model)
+    _check_backend_or_exit(args)
     overrides = _parse_overrides(args.model, args.set or [])
     overrides.update(_streaming_overrides(args, entry.name))
     graph = _load_dataset_or_exit(args.dataset, args.scale, args.seed)
     epsilon = args.epsilon if entry.private else None
     if args.epsilon is not None and not entry.private:
         raise SystemExit(f"model {entry.name!r} is not private; drop --epsilon")
+    # Fold the flags into the overrides dict (rather than separate kwargs)
+    # so `--set backend=...` and `--backend ...` cannot collide; the
+    # explicit flags win, per the documented precedence.
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.device is not None:
+        overrides["device"] = args.device
     model = _make_model_or_exit(
         entry.name, epsilon=epsilon, graph=graph, rng=args.seed, **overrides
     )
@@ -232,11 +289,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     entry = _entry_or_exit(args.model)
     _check_dataset_or_exit(args.dataset)
+    _check_backend_or_exit(args)
     settings = ExperimentSettings.preset(args.preset)
     if args.scale is not None:
         settings = dataclasses.replace(settings, dataset_scale=args.scale)
     if args.seed is not None:
         settings = dataclasses.replace(settings, seed=args.seed)
+    if args.backend is not None or args.device is not None:
+        settings = dataclasses.replace(
+            settings, backend=args.backend, device=args.device
+        )
     epsilon = args.epsilon if entry.private else None
     if args.epsilon is not None and not entry.private:
         raise SystemExit(f"model {entry.name!r} is not private; drop --epsilon")
@@ -275,7 +337,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "table5": table5_private_skipgram_comparison,
     }
     module = modules[args.name]
+    _check_backend_or_exit(args)
     settings = ExperimentSettings.preset(args.preset)
+    if args.backend is not None or args.device is not None:
+        settings = dataclasses.replace(
+            settings, backend=args.backend, device=args.device
+        )
     kwargs: Dict[str, Any] = {}
     if args.name in ("fig3", "fig4", "table2", "table3", "table4", "table5"):
         kwargs["workers"] = args.workers
@@ -404,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_models.add_argument("action", choices=["list"], help="what to do")
     p_models.set_defaults(func=_cmd_models)
 
+    p_backends = sub.add_parser("backends", help="compute backend availability")
+    p_backends.add_argument("action", choices=["list"], help="what to do")
+    p_backends.set_defaults(func=_cmd_backends)
+
     p_train = sub.add_parser("train", help="train one model on one dataset")
     p_train.add_argument("--model", required=True, help="registry name (see `models list`)")
     p_train.add_argument("--dataset", required=True, help="dataset name (see `datasets list`)")
@@ -419,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="walk rows per streamed pair chunk")
     p_train.add_argument("--walk-workers", type=int, default=None,
                          help="process-pool size for sharded walk generation")
+    p_train.add_argument("--backend", default=None,
+                         help="compute backend (numpy | torch | torch:DEVICE; "
+                              "see `backends list`)")
+    p_train.add_argument("--device", default=None,
+                         help="device for the backend (e.g. cpu, cuda)")
     p_train.add_argument("--out", help="save embeddings to this .npz file")
     p_train.set_defaults(func=_cmd_train)
 
@@ -433,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--scale", type=float, default=None, help="override dataset scale")
     p_eval.add_argument("--seed", type=int, default=None, help="override the root seed")
     p_eval.add_argument("--repeat", type=int, default=0, help="repeat index (derives the seed)")
+    p_eval.add_argument("--backend", default=None,
+                        help="compute backend (numpy | torch | torch:DEVICE)")
+    p_eval.add_argument("--device", default=None,
+                        help="device for the backend (e.g. cpu, cuda)")
     p_eval.add_argument("--json", help="also write the result row as JSON ('-' for stdout)")
     p_eval.set_defaults(func=_cmd_evaluate)
 
@@ -455,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "--cache-dir the default ~/.cache/repro is used")
     p_exp.add_argument("--force", action="store_true",
                        help="recompute every cell, overwriting cached entries")
+    p_exp.add_argument("--backend", default=None,
+                       help="compute backend for every cell (numpy | torch "
+                            "| torch:DEVICE); cached separately per backend")
+    p_exp.add_argument("--device", default=None,
+                       help="device for the backend (e.g. cpu, cuda)")
     p_exp.add_argument("--json", help="also write results as JSON ('-' for stdout)")
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.core.config import AdvSGMConfig
 from repro.core.discriminator import AdvSGMDiscriminator
 from repro.core.generator import GeneratorPair
@@ -57,7 +58,10 @@ class AdvSGM(EstimatorMixin):
         :class:`AdvSGMConfig`; defaults follow the paper.
     rng:
         Seed or generator; all stochastic subcomponents derive their streams
-        from it, so a fixed seed makes the whole run reproducible.
+        from it, so a fixed seed makes the whole run reproducible — on every
+        compute backend, since noise is always drawn from numpy streams
+        (``config.backend`` / ``config.device`` select where the tensor math
+        executes, not what is computed).
 
     Examples
     --------
@@ -89,10 +93,11 @@ class AdvSGM(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: build discriminator, generators, sampler, budget."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         disc_rng, gen_rng, sample_rng = spawn_rngs(self._rng, 3)
 
         self.discriminator = AdvSGMDiscriminator(
-            graph.num_nodes, self.config, rng=disc_rng
+            graph.num_nodes, self.config, rng=disc_rng, backend=self.backend_
         )
         self.generators = GeneratorPair(
             embedding_dim=self.config.embedding_dim,
@@ -102,6 +107,7 @@ class AdvSGM(EstimatorMixin):
             sigmoid_b=self.config.sigmoid_b,
             dp_enabled=self.config.dp_enabled,
             rng=gen_rng,
+            backend=self.backend_,
         )
         self.sampler = EdgeSampler(
             graph,
@@ -137,9 +143,11 @@ class AdvSGM(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Link-prediction scores (inner products of released node vectors)."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        emb = self.embeddings
-        return np.einsum("ij,ij->i", emb[pairs[:, 0]], emb[pairs[:, 1]])
+        emb = self.discriminator.w_in
+        scores = be.rowwise_dot(be.gather(emb, pairs[:, 0]), be.gather(emb, pairs[:, 1]))
+        return be.to_numpy(scores)
 
     # ------------------------------------------------------------------
     # training
@@ -182,8 +190,8 @@ class AdvSGM(EstimatorMixin):
         """One of the nG generator iterations (post-processing, no accounting)."""
         batch = self.sampler.sample()
         pairs = batch.positive_edges
-        real_vi = self.discriminator.w_in[pairs[:, 0]]
-        real_vj = self.discriminator.w_out[pairs[:, 1]]
+        real_vi = self.backend_.gather(self.discriminator.w_in, pairs[:, 0])
+        real_vj = self.backend_.gather(self.discriminator.w_out, pairs[:, 1])
         return self.generators.train_step(
             real_vi, real_vj, learning_rate=self.config.learning_rate_g
         )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.graph.sampling import check_negative_distribution
 from repro.utils.validation import check_positive, check_probability
@@ -55,6 +55,17 @@ class AdvSGMConfig:
         factor absorbed into the learning rate), which is what makes the
         paper's learning rates (0.01-0.3) produce visible progress within the
         step counts the privacy budget allows.
+    backend / device:
+        Compute backend for the tensor math (``"numpy"`` default, ``"torch"``
+        optional; ``None`` defers to ``$REPRO_BACKEND`` and then numpy) and
+        its device (``"cpu"``/``"cuda"`` for torch).  The choice affects
+        *only* where matmuls and activations execute: the DP guarantee is
+        backend-independent, because the RDP accountant is charged from the
+        sampling probabilities and the noise multiplier alone — and the
+        Gaussian noise itself is drawn from the same seeded numpy stream on
+        every backend before being transferred, so a fixed seed yields the
+        same mechanism invocations (and the same budget-driven early stop)
+        under numpy and torch alike.
     """
 
     embedding_dim: int = 128
@@ -77,6 +88,8 @@ class AdvSGMConfig:
     normalize_embeddings: bool = True
     average_gradients: bool = False
     rdp_orders: Tuple[int, ...] = field(default_factory=lambda: tuple(range(2, 65)))
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -106,6 +119,10 @@ class AdvSGMConfig:
             )
         if any(int(o) != o or o < 2 for o in self.rdp_orders):
             raise ValueError("rdp_orders must all be integers >= 2")
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
 
     def without_privacy(self) -> "AdvSGMConfig":
         """Return a copy of this config with differential privacy disabled."""

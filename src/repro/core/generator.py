@@ -12,6 +12,10 @@ Both generators are trained to *fool* the discriminator: they minimise
 discriminant probability of the fake pair towards 1.  The generators never
 touch the private graph directly — they only see discriminator embeddings that
 are already differentially private, so their updates are post-processing.
+
+Like the discriminator, the generators keep ``theta`` as backend-native state
+and draw all randomness from seeded numpy streams, so one seed reproduces the
+run on every backend.
 """
 
 from __future__ import annotations
@@ -20,8 +24,9 @@ from typing import Dict
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND
+from repro.backend.base import Backend
 from repro.nn.constrained_sigmoid import ConstrainedSigmoid
-from repro.nn.functional import sigmoid
 from repro.nn.init import xavier_uniform
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
@@ -38,6 +43,8 @@ class FakeNeighbourGenerator:
         Standard deviation of the input Gaussian noise.
     rng:
         Seed or generator for noise draws and initialisation.
+    backend:
+        Compute backend executing the tensor math (numpy by default).
     """
 
     def __init__(
@@ -45,14 +52,18 @@ class FakeNeighbourGenerator:
         embedding_dim: int,
         noise_std: float = 1.0,
         rng: RngLike = None,
+        backend: Backend = NUMPY_BACKEND,
     ) -> None:
         if embedding_dim <= 0:
             raise ValueError(f"embedding_dim must be positive, got {embedding_dim}")
         check_positive(noise_std, "noise_std")
         self._rng = ensure_rng(rng)
+        self.backend = backend
         self.embedding_dim = int(embedding_dim)
         self.noise_std = float(noise_std)
-        self.theta = xavier_uniform((embedding_dim, embedding_dim), rng=self._rng)
+        self.theta = xavier_uniform(
+            (embedding_dim, embedding_dim), rng=self._rng, backend=backend
+        )
         self._last_noise: np.ndarray | None = None
         self._last_pre_activation: np.ndarray | None = None
 
@@ -69,11 +80,14 @@ class FakeNeighbourGenerator:
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
-        noise = self._rng.normal(0.0, self.noise_std, size=(count, self.embedding_dim))
-        pre = noise @ self.theta
+        be = self.backend
+        noise = be.gaussian(
+            self._rng, 0.0, self.noise_std, (count, self.embedding_dim)
+        )
+        pre = be.matmul(noise, self.theta)
         self._last_noise = noise
         self._last_pre_activation = pre
-        return sigmoid(pre)
+        return be.sigmoid(pre)
 
     def backward(self, grad_fake: np.ndarray) -> Dict[str, np.ndarray]:
         """Gradient of the loss w.r.t. ``theta`` given d(loss)/d(fake embeddings).
@@ -87,15 +101,16 @@ class FakeNeighbourGenerator:
         """
         if self._last_noise is None or self._last_pre_activation is None:
             raise RuntimeError("backward called before generate")
-        grad_fake = np.asarray(grad_fake, dtype=np.float64)
-        if grad_fake.shape != self._last_pre_activation.shape:
+        be = self.backend
+        grad_fake = be.asarray(grad_fake)
+        if tuple(grad_fake.shape) != tuple(self._last_pre_activation.shape):
             raise ValueError(
                 "grad_fake shape does not match the last generated batch: "
-                f"{grad_fake.shape} vs {self._last_pre_activation.shape}"
+                f"{tuple(grad_fake.shape)} vs {tuple(self._last_pre_activation.shape)}"
             )
-        act = sigmoid(self._last_pre_activation)
+        act = be.sigmoid(self._last_pre_activation)
         grad_pre = grad_fake * act * (1.0 - act)
-        grad_theta = self._last_noise.T @ grad_pre
+        grad_theta = be.matmul(be.transpose(self._last_noise), grad_pre)
         return {"theta": grad_theta}
 
 
@@ -116,17 +131,23 @@ class GeneratorPair:
         sigmoid_b: float = 120.0,
         dp_enabled: bool = True,
         rng: RngLike = None,
+        backend: Backend = NUMPY_BACKEND,
     ) -> None:
         rng = ensure_rng(rng)
         seed_j = int(rng.integers(0, 2**63 - 1))
         seed_i = int(rng.integers(0, 2**63 - 1))
-        self.generator_j = FakeNeighbourGenerator(embedding_dim, noise_std, rng=seed_j)
-        self.generator_i = FakeNeighbourGenerator(embedding_dim, noise_std, rng=seed_i)
+        self.backend = backend
+        self.generator_j = FakeNeighbourGenerator(
+            embedding_dim, noise_std, rng=seed_j, backend=backend
+        )
+        self.generator_i = FakeNeighbourGenerator(
+            embedding_dim, noise_std, rng=seed_i, backend=backend
+        )
         self._rng = rng
         self.noise_multiplier = float(noise_multiplier)
         self.clip_norm = float(clip_norm)
         self.dp_enabled = bool(dp_enabled)
-        self.discriminant = ConstrainedSigmoid(sigmoid_a, sigmoid_b)
+        self.discriminant = ConstrainedSigmoid(sigmoid_a, sigmoid_b, backend=backend)
         self.embedding_dim = int(embedding_dim)
 
     def generate_pairs(self, count: int) -> tuple[np.ndarray, np.ndarray]:
@@ -136,9 +157,9 @@ class GeneratorPair:
     def _activation_noise(self, count: int) -> np.ndarray:
         """Noise vectors ``N_G(C^2 sigma^2 I)`` entering the generator loss."""
         if not self.dp_enabled:
-            return np.zeros((count, self.embedding_dim))
+            return self.backend.zeros((count, self.embedding_dim))
         std = self.clip_norm * self.noise_multiplier
-        return self._rng.normal(0.0, std, size=(count, self.embedding_dim))
+        return self.backend.gaussian(self._rng, 0.0, std, (count, self.embedding_dim))
 
     def train_step(
         self,
@@ -161,24 +182,21 @@ class GeneratorPair:
         float
             The generator loss value before the update.
         """
-        real_vi = np.asarray(real_vi, dtype=np.float64)
-        real_vj = np.asarray(real_vj, dtype=np.float64)
-        if real_vi.shape != real_vj.shape:
+        be = self.backend
+        real_vi = be.asarray(real_vi)
+        real_vj = be.asarray(real_vj)
+        if tuple(real_vi.shape) != tuple(real_vj.shape):
             raise ValueError("real_vi and real_vj must have the same shape")
         count = real_vi.shape[0]
         fake_vj, fake_vi = self.generate_pairs(count)
         noise_1 = self._activation_noise(count)
         noise_2 = self._activation_noise(count)
 
-        scores_1 = np.einsum("ij,ij->i", real_vi, fake_vj) + np.einsum(
-            "ij,ij->i", noise_1, real_vi
-        )
-        scores_2 = np.einsum("ij,ij->i", fake_vi, real_vj) + np.einsum(
-            "ij,ij->i", noise_2, real_vj
-        )
+        scores_1 = be.rowwise_dot(real_vi, fake_vj) + be.rowwise_dot(noise_1, real_vi)
+        scores_2 = be.rowwise_dot(fake_vi, real_vj) + be.rowwise_dot(noise_2, real_vj)
         f1 = self.discriminant(scores_1)
         f2 = self.discriminant(scores_2)
-        loss = float(np.mean(np.log(1.0 - f1 + 1e-12) + np.log(1.0 - f2 + 1e-12)))
+        loss = float(be.mean(be.log(1.0 - f1 + 1e-12) + be.log(1.0 - f2 + 1e-12)))
 
         # d/d(fake) of log(1 - F(s)) = -F(s) * real  (sigmoid derivative folded
         # into F itself); we descend on the loss, i.e. move fakes to raise F.

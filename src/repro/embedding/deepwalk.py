@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.graph.random_walk import iter_walk_pairs, walks_to_pairs
 from repro.graph.sampling import (
@@ -57,6 +58,8 @@ class DeepWalkConfig:
     pair_streaming: bool = False
     stream_chunk_walks: int = 4096
     walk_workers: int = 1
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("embedding_dim", "num_walks", "walk_length", "window_size",
@@ -66,6 +69,10 @@ class DeepWalkConfig:
                 raise ValueError(f"{name} must be positive")
         check_positive(self.learning_rate, "learning_rate")
         check_negative_distribution(self.negative_distribution)
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
 
 
 @register_model(
@@ -92,10 +99,15 @@ class DeepWalk(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: initialise embeddings and the negative table."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         self._init_rng, self._walk_rng, self._train_rng = spawn_rngs(self._rng, 3)
         dim = self.config.embedding_dim
-        self.w_in = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
-        self.w_out = uniform_embedding(graph.num_nodes, dim, rng=self._init_rng)
+        self.w_in = uniform_embedding(
+            graph.num_nodes, dim, rng=self._init_rng, backend=self.backend_
+        )
+        self.w_out = uniform_embedding(
+            graph.num_nodes, dim, rng=self._init_rng, backend=self.backend_
+        )
         self._negative_table = (
             AliasTable(unigram_weights(graph.degrees))
             if self.config.negative_distribution == "unigram075"
@@ -114,8 +126,8 @@ class DeepWalk(EstimatorMixin):
 
     @property
     def embeddings(self) -> np.ndarray:
-        """Released node embeddings."""
-        return self.w_in
+        """Released node embeddings, as a numpy array."""
+        return self.backend_.to_numpy(self.w_in)
 
     def _walk_bias(self) -> Dict[str, float]:
         """Second-order bias kwargs for the walk engine (node2vec overrides)."""
@@ -152,34 +164,35 @@ class DeepWalk(EstimatorMixin):
     def _train_on_batch(self, batch: np.ndarray) -> float:
         """One mini-batch of skip-gram updates; returns the batch loss."""
         cfg = self.config
+        be = self.backend_
         centres, contexts = batch[:, 0], batch[:, 1]
         negatives = self._draw_negatives(batch.shape[0], cfg.num_negatives)
 
-        v_c = self.w_in[centres]
-        v_o = self.w_out[contexts]
-        pos_scores = np.einsum("ij,ij->i", v_c, v_o)
-        pos_coeff = 1.0 - sigmoid(pos_scores)
+        v_c = be.gather(self.w_in, centres)
+        v_o = be.gather(self.w_out, contexts)
+        pos_scores = be.rowwise_dot(v_c, v_o)
+        pos_coeff = 1.0 - sigmoid(pos_scores, backend=be)
 
         grad_centre = pos_coeff[:, None] * v_o
         grad_context = pos_coeff[:, None] * v_c
-        neg_vectors = self.w_out[negatives]  # (B, k, dim)
-        neg_scores = np.einsum("ij,ikj->ik", v_c, neg_vectors)
-        neg_coeff = -sigmoid(neg_scores)
-        grad_centre += np.einsum("ik,ikj->ij", neg_coeff, neg_vectors)
+        neg_vectors = be.gather(self.w_out, negatives)  # (B, k, dim)
+        neg_scores = be.batched_rowwise_dot(v_c, neg_vectors)
+        neg_coeff = -sigmoid(neg_scores, backend=be)
+        grad_centre = grad_centre + be.weighted_rows_sum(neg_coeff, neg_vectors)
 
         lr = cfg.learning_rate
-        np.add.at(self.w_in, centres, lr * grad_centre)
-        np.add.at(self.w_out, contexts, lr * grad_context)
-        np.add.at(
+        be.index_add_(self.w_in, centres, lr * grad_centre)
+        be.index_add_(self.w_out, contexts, lr * grad_context)
+        be.index_add_(
             self.w_out,
             negatives.ravel(),
             lr * (neg_coeff[:, :, None] * v_c[:, None, :]).reshape(-1, v_c.shape[1]),
         )
 
         with np.errstate(over="ignore"):
-            batch_obj = np.log(sigmoid(pos_scores) + 1e-12).sum() + np.log(
-                sigmoid(-neg_scores) + 1e-12
-            ).sum()
+            batch_obj = be.sum(be.log(sigmoid(pos_scores, backend=be) + 1e-12)) + be.sum(
+                be.log(sigmoid(-neg_scores, backend=be) + 1e-12)
+            )
         return float(-batch_obj / batch.shape[0])
 
     def _train_one_pass(self, source: PairSource) -> float:
@@ -207,5 +220,8 @@ class DeepWalk(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Link-prediction scores from input-vector inner products."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum("ij,ij->i", self.w_in[pairs[:, 0]], self.w_in[pairs[:, 1]])
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(self.w_in, pairs[:, 0]), be.gather(self.w_in, pairs[:, 1]))
+        )

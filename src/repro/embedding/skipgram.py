@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
+from repro.backend import get_backend
 from repro.graph.graph import Graph
 from repro.graph.sampling import EdgeSampler, SampleBatch, check_negative_distribution
 from repro.nn.functional import log_sigmoid, sigmoid
@@ -44,6 +45,8 @@ class SkipGramConfig:
     batches_per_epoch: int = 15
     normalize_embeddings: bool = True
     negative_distribution: str = "uniform"
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.embedding_dim <= 0:
@@ -56,6 +59,10 @@ class SkipGramConfig:
         if self.num_epochs <= 0 or self.batches_per_epoch <= 0:
             raise ValueError("num_epochs and batches_per_epoch must be positive")
         check_negative_distribution(self.negative_distribution)
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
 
 
 @register_model(
@@ -94,10 +101,15 @@ class SkipGramModel(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: initialise embeddings and the batch sampler."""
         self.graph = graph
+        self.backend_ = get_backend(self.config.backend, self.config.device)
         init_rng, sample_rng = spawn_rngs(self._rng, 2)
         dim = self.config.embedding_dim
-        self.w_in = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
-        self.w_out = uniform_embedding(graph.num_nodes, dim, rng=init_rng)
+        self.w_in = uniform_embedding(
+            graph.num_nodes, dim, rng=init_rng, backend=self.backend_
+        )
+        self.w_out = uniform_embedding(
+            graph.num_nodes, dim, rng=init_rng, backend=self.backend_
+        )
         if self.config.normalize_embeddings:
             self._normalize()
         self.sampler = EdgeSampler(
@@ -117,30 +129,34 @@ class SkipGramModel(EstimatorMixin):
     # ------------------------------------------------------------------
     @property
     def embeddings(self) -> np.ndarray:
-        """Released node embeddings (the input vectors ``W_in``)."""
-        return self.w_in
+        """Released node embeddings (the input vectors ``W_in``), as numpy."""
+        return self.backend_.to_numpy(self.w_in)
 
     def _normalize(self) -> None:
         """Project every embedding row onto the unit ball (ensures C = 1)."""
         for matrix in (self.w_in, self.w_out):
-            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-            np.divide(matrix, np.maximum(norms, 1.0), out=matrix)
+            self.backend_.normalize_rows_(matrix, 1.0)
 
     # ------------------------------------------------------------------
     # loss / gradients
     # ------------------------------------------------------------------
     def pair_scores(self, pairs: np.ndarray) -> np.ndarray:
         """Inner products ``v_i . v_j`` for an ``(n, 2)`` array of pairs."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum(
-            "ij,ij->i", self.w_in[pairs[:, 0]], self.w_out[pairs[:, 1]]
+        return be.rowwise_dot(
+            be.gather(self.w_in, pairs[:, 0]), be.gather(self.w_out, pairs[:, 1])
         )
 
     def batch_loss(self, batch: SampleBatch) -> float:
         """Negative mean skip-gram objective of a batch (lower is better)."""
+        be = self.backend_
         pos_scores = self.pair_scores(batch.positive_edges)
         neg_scores = self.pair_scores(batch.negative_pairs)
-        objective = log_sigmoid(pos_scores).sum() + log_sigmoid(-neg_scores).sum()
+        objective = (
+            log_sigmoid(pos_scores, backend=be).sum()
+            + log_sigmoid(-neg_scores, backend=be).sum()
+        )
         return float(-objective / max(1, batch.batch_size))
 
     def _accumulate_gradients(
@@ -152,20 +168,21 @@ class SkipGramModel(EstimatorMixin):
         gradients are dense ``(num_nodes, dim)`` accumulators and the touched
         arrays list the unique rows that received contributions.
         """
-        grad_in = np.zeros_like(self.w_in)
-        grad_out = np.zeros_like(self.w_out)
+        be = self.backend_
+        grad_in = be.zeros_like(self.w_in)
+        grad_out = be.zeros_like(self.w_out)
 
         pos = batch.positive_edges
         pos_scores = self.pair_scores(pos)
-        pos_coeff = 1.0 - sigmoid(pos_scores)  # d log sigma(x) / dx
-        np.add.at(grad_in, pos[:, 0], pos_coeff[:, None] * self.w_out[pos[:, 1]])
-        np.add.at(grad_out, pos[:, 1], pos_coeff[:, None] * self.w_in[pos[:, 0]])
+        pos_coeff = 1.0 - sigmoid(pos_scores, backend=be)  # d log sigma(x) / dx
+        be.index_add_(grad_in, pos[:, 0], pos_coeff[:, None] * be.gather(self.w_out, pos[:, 1]))
+        be.index_add_(grad_out, pos[:, 1], pos_coeff[:, None] * be.gather(self.w_in, pos[:, 0]))
 
         neg = batch.negative_pairs
         neg_scores = self.pair_scores(neg)
-        neg_coeff = -sigmoid(neg_scores)  # d log sigma(-x) / dx
-        np.add.at(grad_in, neg[:, 0], neg_coeff[:, None] * self.w_out[neg[:, 1]])
-        np.add.at(grad_out, neg[:, 1], neg_coeff[:, None] * self.w_in[neg[:, 0]])
+        neg_coeff = -sigmoid(neg_scores, backend=be)  # d log sigma(-x) / dx
+        be.index_add_(grad_in, neg[:, 0], neg_coeff[:, None] * be.gather(self.w_out, neg[:, 1]))
+        be.index_add_(grad_out, neg[:, 1], neg_coeff[:, None] * be.gather(self.w_in, neg[:, 0]))
 
         touched_in = np.unique(np.concatenate([pos[:, 0], neg[:, 0]]))
         touched_out = np.unique(np.concatenate([pos[:, 1], neg[:, 1]]))
@@ -187,11 +204,14 @@ class SkipGramModel(EstimatorMixin):
         """
         if batch is None:
             batch = self.sampler.sample()
+        be = self.backend_
         loss = self.batch_loss(batch)
         grad_in, touched_in, grad_out, touched_out = self._accumulate_gradients(batch)
         lr = self.config.learning_rate
-        self.w_in[touched_in] += lr * grad_in[touched_in]
-        self.w_out[touched_out] += lr * grad_out[touched_out]
+        # The touched indices are unique, so the scatter-add applies exactly
+        # the historical ``w[touched] += lr * grad[touched]`` update.
+        be.index_add_(self.w_in, touched_in, lr * be.gather(grad_in, touched_in))
+        be.index_add_(self.w_out, touched_out, lr * be.gather(grad_out, touched_out))
         if self.config.normalize_embeddings:
             self._normalize()
         return loss
@@ -212,5 +232,8 @@ class SkipGramModel(EstimatorMixin):
 
     def score_edges(self, pairs: np.ndarray) -> np.ndarray:
         """Link-prediction scores: inner product of the *input* vectors."""
+        be = self.backend_
         pairs = np.asarray(pairs, dtype=np.int64)
-        return np.einsum("ij,ij->i", self.w_in[pairs[:, 0]], self.w_in[pairs[:, 1]])
+        return be.to_numpy(
+            be.rowwise_dot(be.gather(self.w_in, pairs[:, 0]), be.gather(self.w_in, pairs[:, 1]))
+        )

@@ -10,7 +10,7 @@ models use the paper's schedule scaled by ``epoch_scale``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -40,6 +40,9 @@ class ExperimentSettings:
         Privacy budgets swept by the comparison experiments.
     seed:
         Base seed; every experiment derives per-run seeds from it.
+    backend / device:
+        Compute backend every cell trains on (``None`` defers to the model
+        configs and then the ambient default; see :mod:`repro.backend`).
     """
 
     dataset_scale: float = 1.0
@@ -59,6 +62,8 @@ class ExperimentSettings:
     epsilons: Tuple[float, ...] = field(default_factory=lambda: DEFAULT_EPSILONS)
     num_repeats: int = 1
     seed: int = 2025
+    backend: Optional[str] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive(self.dataset_scale, "dataset_scale")
@@ -83,6 +88,10 @@ class ExperimentSettings:
             raise ValueError("test_fraction must lie in (0, 1)")
         if not self.epsilons:
             raise ValueError("epsilons must not be empty")
+        if self.backend is not None:
+            self.backend = str(self.backend)
+        if self.device is not None:
+            self.device = str(self.device)
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":

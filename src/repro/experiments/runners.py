@@ -233,6 +233,8 @@ def spec_from_settings(
         base_seed=settings.seed,
         dataset_scale=settings.dataset_scale,
         test_fraction=settings.test_fraction,
+        backend=settings.backend,
+        device=settings.device,
     )
 
 
@@ -253,6 +255,12 @@ def _compute_cell(
         cell.dataset, scale=cell.dataset_scale, seed=cell.dataset_seed
     )
     overrides = dict(cell.model.overrides)
+    # The cell-level backend/device win over any model-spec override, so a
+    # sweep re-run under --backend torch retrains every cell on torch.
+    if cell.backend is not None:
+        overrides["backend"] = cell.backend
+    if cell.device is not None:
+        overrides["device"] = cell.device
     row: Dict[str, Any] = {
         "task": cell.task,
         "dataset": cell.dataset,
@@ -440,6 +448,8 @@ def _single_cell(
         dataset_scale=settings.dataset_scale,
         dataset_seed=settings.seed,
         test_fraction=settings.test_fraction,
+        backend=settings.backend,
+        device=settings.device,
     )
 
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND
+from repro.backend.base import Backend
 from repro.utils.validation import check_positive
 
 
@@ -75,15 +77,21 @@ class ConstrainedSigmoid:
         Lower bound on the clipped exponential (paper default ``1e-5``).
     b:
         Upper bound on the clipped exponential (paper default ``120``).
+    backend:
+        Compute backend for the clip/exp math (numpy by default, bit-for-bit
+        the historical implementation).
     """
 
-    def __init__(self, a: float = 1e-5, b: float = 120.0) -> None:
+    def __init__(
+        self, a: float = 1e-5, b: float = 120.0, backend: Backend = NUMPY_BACKEND
+    ) -> None:
         check_positive(a, "a")
         check_positive(b, "b")
         if not b > a:
             raise ValueError(f"b must exceed a, got a={a}, b={b}")
         self.a = float(a)
         self.b = float(b)
+        self.backend = backend
 
     def clipped_exp(self, x: np.ndarray) -> np.ndarray:
         """Return ``exp(x)`` confined to ``[a, b]``.
@@ -95,17 +103,17 @@ class ConstrainedSigmoid:
         uses the hard-clipped exponential and keeps the smooth variant
         available as :func:`exponential_clip` for narrow intervals.
         """
-        x = np.asarray(x, dtype=np.float64)
-        safe = np.clip(x, np.log(self.a) - 30.0, np.log(self.b) + 30.0)
-        return np.clip(np.exp(safe), self.a, self.b)
+        be = self.backend
+        safe = be.clip(be.asarray(x), np.log(self.a) - 30.0, np.log(self.b) + 30.0)
+        return be.clip(be.exp(safe), self.a, self.b)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Evaluate ``S(x) = 1 / (1 + exp_clip(-x))``."""
-        return 1.0 / (1.0 + self.clipped_exp(-np.asarray(x, dtype=np.float64)))
+        return 1.0 / (1.0 + self.clipped_exp(-self.backend.asarray(x)))
 
     def inverse_weight(self, x: np.ndarray) -> np.ndarray:
         """Return the AdvSGM module weight ``lambda = 1 / S(x)``."""
-        return 1.0 + self.clipped_exp(-np.asarray(x, dtype=np.float64))
+        return 1.0 + self.clipped_exp(-self.backend.asarray(x))
 
     @property
     def output_range(self) -> tuple[float, float]:

@@ -1,55 +1,62 @@
 """Numerically stable activation and loss primitives.
 
 These are the only non-linearities used by the skip-gram family models and
-the simplified GNN baselines.  Each function accepts scalars or arrays and
-always returns ``float64`` arrays (or a Python float for scalar input of the
-loss helpers).
+the simplified GNN baselines.  Each function accepts scalars or arrays, and
+an optional ``backend=`` routes the computation through a
+:class:`repro.backend.Backend` — ``None`` (the default) keeps the canonical
+NumPy implementations (which live in :mod:`repro.backend.numpy_backend` and
+always return ``float64`` arrays), so existing callers are bit-for-bit
+unchanged.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-# Sigmoid saturates numerically past |x| ~ 36 in float64; clipping the input
-# keeps exp() away from overflow without changing the value of the output.
-_SIGMOID_CLIP = 500.0
+from repro.backend.base import Backend
+from repro.backend.numpy_backend import (
+    SIGMOID_CLIP as _SIGMOID_CLIP,  # noqa: F401  (re-exported for callers)
+    stable_log_sigmoid,
+    stable_sigmoid,
+    stable_softmax,
+)
+
 _EPS = 1e-12
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray, backend: Optional[Backend] = None) -> np.ndarray:
     """Logistic sigmoid, stable for large positive and negative inputs."""
-    x = np.clip(np.asarray(x, dtype=np.float64), -_SIGMOID_CLIP, _SIGMOID_CLIP)
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    return stable_sigmoid(x) if backend is None else backend.sigmoid(x)
 
 
-def log_sigmoid(x: np.ndarray) -> np.ndarray:
+def log_sigmoid(x: np.ndarray, backend: Optional[Backend] = None) -> np.ndarray:
     """``log(sigmoid(x))`` computed without intermediate underflow."""
-    x = np.asarray(x, dtype=np.float64)
-    # log sigma(x) = -softplus(-x) = min(x, 0) - log1p(exp(-|x|))
-    return np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+    return stable_log_sigmoid(x) if backend is None else backend.log_sigmoid(x)
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+def softmax(
+    x: np.ndarray, axis: int = -1, backend: Optional[Backend] = None
+) -> np.ndarray:
     """Softmax along ``axis`` with max-subtraction for stability."""
-    x = np.asarray(x, dtype=np.float64)
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    ex = np.exp(shifted)
-    return ex / np.sum(ex, axis=axis, keepdims=True)
+    if backend is None:
+        return stable_softmax(x, axis=axis)
+    return backend.softmax(x, axis=axis)
 
 
-def relu(x: np.ndarray) -> np.ndarray:
+def relu(x: np.ndarray, backend: Optional[Backend] = None) -> np.ndarray:
     """Rectified linear unit."""
-    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+    if backend is None:
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+    return backend.relu(x)
 
 
-def tanh(x: np.ndarray) -> np.ndarray:
+def tanh(x: np.ndarray, backend: Optional[Backend] = None) -> np.ndarray:
     """Hyperbolic tangent (thin wrapper, for API symmetry)."""
-    return np.tanh(np.asarray(x, dtype=np.float64))
+    if backend is None:
+        return np.tanh(np.asarray(x, dtype=np.float64))
+    return backend.tanh(x)
 
 
 def binary_cross_entropy(probs: np.ndarray, targets: np.ndarray) -> float:

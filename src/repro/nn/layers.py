@@ -4,6 +4,10 @@ The baselines only need forward passes plus gradients with respect to their
 own weights, so each layer caches its inputs during ``forward`` and exposes a
 ``backward`` that returns the weight gradients and the gradient flowing to the
 previous layer.
+
+Both layers are backend-aware: parameters live as native arrays of the
+``backend`` passed at construction (numpy by default, bit-for-bit the
+historical behaviour) and all tensor math routes through it.
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND
+from repro.backend.base import Backend
 from repro.nn.functional import relu
 from repro.nn.init import xavier_uniform
 from repro.utils.rng import RngLike
@@ -26,11 +32,13 @@ class DenseLayer:
         out_dim: int,
         activation: Optional[Callable[[np.ndarray], np.ndarray]] = relu,
         rng: RngLike = None,
+        backend: Backend = NUMPY_BACKEND,
     ) -> None:
         if in_dim <= 0 or out_dim <= 0:
             raise ValueError("in_dim and out_dim must be positive")
-        self.weight = xavier_uniform((in_dim, out_dim), rng=rng)
-        self.bias = np.zeros(out_dim)
+        self.backend = backend
+        self.weight = xavier_uniform((in_dim, out_dim), rng=rng, backend=backend)
+        self.bias = backend.zeros((out_dim,))
         self.activation = activation
         self._input: Optional[np.ndarray] = None
         self._pre_activation: Optional[np.ndarray] = None
@@ -40,13 +48,22 @@ class DenseLayer:
         """Expose parameters for optimizer updates."""
         return {"weight": self.weight, "bias": self.bias}
 
+    def _activate(self, z):
+        if self.activation is None:
+            return z
+        if self.activation is relu:
+            return self.backend.relu(z)
+        # Custom activations are applied as given (numpy-only legacy path).
+        return self.activation(z)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Compute the layer output and cache intermediates for backward."""
-        x = np.asarray(x, dtype=np.float64)
+        be = self.backend
+        x = be.asarray(x)
         self._input = x
-        z = x @ self.weight + self.bias
+        z = be.matmul(x, self.weight) + self.bias
         self._pre_activation = z
-        return self.activation(z) if self.activation is not None else z
+        return self._activate(z)
 
     def backward(self, grad_output: np.ndarray) -> Dict[str, np.ndarray]:
         """Back-propagate ``grad_output`` through the layer.
@@ -56,14 +73,15 @@ class DenseLayer:
         """
         if self._input is None or self._pre_activation is None:
             raise RuntimeError("backward called before forward")
-        grad = np.asarray(grad_output, dtype=np.float64)
+        be = self.backend
+        grad = be.asarray(grad_output)
         if self.activation is relu:
             grad = grad * (self._pre_activation > 0)
         # For other activations callers are expected to fold the activation
         # derivative into grad_output themselves (only relu/linear are used).
-        grad_weight = self._input.T @ grad
-        grad_bias = grad.sum(axis=0)
-        grad_input = grad @ self.weight.T
+        grad_weight = be.matmul(be.transpose(self._input), grad)
+        grad_bias = be.sum(grad, axis=0)
+        grad_input = be.matmul(grad, be.transpose(self.weight))
         return {"weight": grad_weight, "bias": grad_bias, "input": grad_input}
 
 
@@ -82,10 +100,12 @@ class GraphConvolution:
         out_dim: int,
         activation: Optional[Callable[[np.ndarray], np.ndarray]] = relu,
         rng: RngLike = None,
+        backend: Backend = NUMPY_BACKEND,
     ) -> None:
         if in_dim <= 0 or out_dim <= 0:
             raise ValueError("in_dim and out_dim must be positive")
-        self.weight = xavier_uniform((in_dim, out_dim), rng=rng)
+        self.backend = backend
+        self.weight = xavier_uniform((in_dim, out_dim), rng=rng, backend=backend)
         self.activation = activation
         self._aggregated: Optional[np.ndarray] = None
         self._pre_activation: Optional[np.ndarray] = None
@@ -95,6 +115,13 @@ class GraphConvolution:
         """Expose parameters for optimizer updates."""
         return {"weight": self.weight}
 
+    def _activate(self, z):
+        if self.activation is None:
+            return z
+        if self.activation is relu:
+            return self.backend.relu(z)
+        return self.activation(z)
+
     def forward(
         self, adj_norm: np.ndarray, features: np.ndarray, aggregated: Optional[np.ndarray] = None
     ) -> np.ndarray:
@@ -103,19 +130,21 @@ class GraphConvolution:
         ``aggregated`` may be supplied directly (e.g. a noisy aggregation in
         GAP); otherwise it is computed as ``adj_norm @ features``.
         """
+        be = self.backend
         if aggregated is None:
-            aggregated = np.asarray(adj_norm) @ np.asarray(features, dtype=np.float64)
-        self._aggregated = np.asarray(aggregated, dtype=np.float64)
-        z = self._aggregated @ self.weight
+            aggregated = be.matmul(be.asarray(adj_norm), be.asarray(features))
+        self._aggregated = be.asarray(aggregated)
+        z = be.matmul(self._aggregated, self.weight)
         self._pre_activation = z
-        return self.activation(z) if self.activation is not None else z
+        return self._activate(z)
 
     def backward(self, grad_output: np.ndarray) -> Dict[str, np.ndarray]:
         """Return the gradient with respect to the layer weight."""
         if self._aggregated is None or self._pre_activation is None:
             raise RuntimeError("backward called before forward")
-        grad = np.asarray(grad_output, dtype=np.float64)
+        be = self.backend
+        grad = be.asarray(grad_output)
         if self.activation is relu:
             grad = grad * (self._pre_activation > 0)
-        grad_weight = self._aggregated.T @ grad
+        grad_weight = be.matmul(be.transpose(self._aggregated), grad)
         return {"weight": grad_weight}

@@ -4,7 +4,8 @@ The trainers keep their parameters in plain dictionaries mapping a name to an
 ndarray; optimizers therefore update arrays in place given a matching
 dictionary of gradients.  ``SGD`` is what the paper's models use; ``Adam`` is
 provided for the GNN baselines (GAP / DPAR) which are conventionally trained
-with Adam.
+with Adam.  Both optimizers are backend-aware: their buffers live on the
+same :class:`repro.backend.Backend` as the parameters they update.
 """
 
 from __future__ import annotations
@@ -13,18 +14,32 @@ from typing import Dict
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND
+from repro.backend.base import Backend
 from repro.utils.validation import check_positive
 
 
 class SGD:
-    """Vanilla stochastic gradient descent with optional momentum."""
+    """Vanilla stochastic gradient descent with optional momentum.
 
-    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0) -> None:
+    ``backend`` selects where the state (momentum buffers) lives and how the
+    elementwise math runs; the default numpy backend is bit-for-bit the
+    historical implementation.  Parameters and gradients are expected to be
+    native arrays of the same backend.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        momentum: float = 0.0,
+        backend: Backend = NUMPY_BACKEND,
+    ) -> None:
         check_positive(learning_rate, "learning_rate")
         if momentum < 0 or momentum >= 1:
             raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
         self.learning_rate = float(learning_rate)
         self.momentum = float(momentum)
+        self.backend = backend
         self._velocity: Dict[str, np.ndarray] = {}
 
     def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
@@ -39,8 +54,8 @@ class SGD:
                 raise KeyError(f"gradient provided for unknown parameter {name!r}")
             if self.momentum > 0:
                 vel = self._velocity.get(name)
-                if vel is None or vel.shape != grad.shape:
-                    vel = np.zeros_like(grad)
+                if vel is None or tuple(vel.shape) != tuple(grad.shape):
+                    vel = self.backend.zeros_like(grad)
                 vel = self.momentum * vel - self.learning_rate * grad
                 self._velocity[name] = vel
                 params[name] += vel
@@ -57,6 +72,7 @@ class Adam:
         beta1: float = 0.9,
         beta2: float = 0.999,
         eps: float = 1e-8,
+        backend: Backend = NUMPY_BACKEND,
     ) -> None:
         check_positive(learning_rate, "learning_rate")
         if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
@@ -65,6 +81,7 @@ class Adam:
         self.beta1 = float(beta1)
         self.beta2 = float(beta2)
         self.eps = float(eps)
+        self.backend = backend
         self._m: Dict[str, np.ndarray] = {}
         self._v: Dict[str, np.ndarray] = {}
         self._t = 0
@@ -77,13 +94,13 @@ class Adam:
                 raise KeyError(f"gradient provided for unknown parameter {name!r}")
             m = self._m.get(name)
             v = self._v.get(name)
-            if m is None or m.shape != grad.shape:
-                m = np.zeros_like(grad)
-                v = np.zeros_like(grad)
+            if m is None or tuple(m.shape) != tuple(grad.shape):
+                m = self.backend.zeros_like(grad)
+                v = self.backend.zeros_like(grad)
             m = self.beta1 * m + (1 - self.beta1) * grad
             v = self.beta2 * v + (1 - self.beta2) * grad * grad
             self._m[name] = m
             self._v[name] = v
             m_hat = m / (1 - self.beta1**self._t)
             v_hat = v / (1 - self.beta2**self._t)
-            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+            params[name] -= self.learning_rate * m_hat / (self.backend.sqrt(v_hat) + self.eps)

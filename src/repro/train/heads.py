@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND
+from repro.backend.base import Backend
 from repro.graph.graph import Graph
 from repro.graph.splits import train_test_split_edges
 from repro.nn.functional import sigmoid
@@ -29,6 +31,7 @@ def fit_link_prediction_head(
     rng: np.random.Generator,
     test_fraction: float = 0.1,
     callbacks=(),
+    backend: Backend = NUMPY_BACKEND,
 ) -> LoopResult:
     """Train ``weight`` (in place) so ``features @ weight`` scores edges well.
 
@@ -37,7 +40,12 @@ def fit_link_prediction_head(
     to ``history`` under ``"loss"``, matching the baselines' original
     behaviour.  Uses only ``features`` (already privatised by the caller) and
     the public edge split, so the whole stage is DP post-processing.
+
+    ``features`` and ``weight`` must be native arrays of ``backend`` (numpy
+    by default); the batch schedule and edge split stay on numpy regardless,
+    so every backend trains on the identical pair sequence.
     """
+    be = backend
     split = train_test_split_edges(graph, test_fraction=test_fraction, rng=rng)
     pos = split.train_edges
     neg = split.train_negatives
@@ -52,22 +60,23 @@ def fit_link_prediction_head(
             epoch_state["order"] = rng.permutation(pairs.shape[0])
         idx = epoch_state["order"][step_idx * batch_size : (step_idx + 1) * batch_size]
         batch_pairs = pairs[idx]
-        batch_labels = labels[idx]
-        emb = features @ weight
-        zi = emb[batch_pairs[:, 0]]
-        zj = emb[batch_pairs[:, 1]]
-        probs = sigmoid(np.einsum("ij,ij->i", zi, zj))
+        batch_labels = be.asarray(labels[idx])
+        emb = be.matmul(features, weight)
+        zi = be.gather(emb, batch_pairs[:, 0])
+        zj = be.gather(emb, batch_pairs[:, 1])
+        probs = sigmoid(be.rowwise_dot(zi, zj), backend=be)
         residual = (probs - batch_labels)[:, None]
-        feats_i = features[batch_pairs[:, 0]]
-        feats_j = features[batch_pairs[:, 1]]
+        feats_i = be.gather(features, batch_pairs[:, 0])
+        feats_j = be.gather(features, batch_pairs[:, 1])
         grad_weight = (
-            feats_i.T @ (residual * zj) + feats_j.T @ (residual * zi)
+            be.matmul(be.transpose(feats_i), residual * zj)
+            + be.matmul(be.transpose(feats_j), residual * zi)
         ) / batch_pairs.shape[0]
-        weight[...] -= learning_rate * grad_weight
+        weight[...] = weight - learning_rate * grad_weight
         return float(
-            np.mean(
-                -(batch_labels * np.log(probs + 1e-12)
-                  + (1 - batch_labels) * np.log(1 - probs + 1e-12))
+            be.mean(
+                -(batch_labels * be.log(probs + 1e-12)
+                  + (1 - batch_labels) * be.log(1 - probs + 1e-12))
             )
         )
 

@@ -1,0 +1,463 @@
+"""The compute-backend seam: resolution, numpy reference ops, cache identity,
+and (when torch is installed) numpy-vs-torch parity across the models.
+
+Torch is intentionally optional: on a torch-less machine every test in the
+``TestTorch*`` classes skips, and the rest of this module doubles as the
+proof of the import gate — ``import repro`` and full numpy training never
+touch torch.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.spec import ExperimentCell, ModelSpec
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    NUMPY_BACKEND,
+    BackendError,
+    backend_available,
+    canonical_backend_spec,
+    get_backend,
+    list_backends,
+)
+from repro.cache import ResultStore, cell_backend_spec, cell_key
+from repro.golden import GOLDEN_CASES, golden_graph
+
+TORCH_AVAILABLE = backend_available("torch")
+
+
+def _cell(**changes):
+    base = dict(
+        task="link_prediction",
+        dataset="ppi",
+        model=ModelSpec(name="sgm"),
+        epsilon=None,
+        repeat=0,
+        seed=7,
+    )
+    base.update(changes)
+    return ExperimentCell(**base)
+
+
+# ---------------------------------------------------------------------------
+# resolution and availability
+# ---------------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        be = get_backend()
+        assert be.name == "numpy"
+        assert be.spec == "numpy"
+        assert be is NUMPY_BACKEND
+
+    def test_registered_backends(self):
+        assert "numpy" in list_backends()
+        assert "torch" in list_backends()
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend()
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_backend_is_one_line_error(self):
+        with pytest.raises(BackendError, match="unknown backend 'tensorflow'"):
+            get_backend("tensorflow")
+
+    def test_numpy_rejects_non_cpu_device(self):
+        with pytest.raises(BackendError, match="does not support device"):
+            get_backend("numpy", device="cuda")
+
+    def test_conflicting_devices_rejected(self):
+        with pytest.raises(BackendError, match="conflicting devices"):
+            get_backend("torch:cpu", device="cuda")
+
+    def test_instance_passthrough(self):
+        assert get_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+        with pytest.raises(BackendError, match="device"):
+            get_backend(NUMPY_BACKEND, device="cuda")
+
+    @pytest.mark.skipif(TORCH_AVAILABLE, reason="torch installed here")
+    def test_torch_unavailable_is_one_line_error(self):
+        with pytest.raises(BackendError, match="torch is not installed"):
+            get_backend("torch")
+
+    def test_canonical_spec_is_total_without_torch(self, monkeypatch):
+        # Pure string work: resolves specs for backends that may not be
+        # importable in this process (cache keys must never raise).
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert canonical_backend_spec() == "numpy"
+        assert canonical_backend_spec("numpy") == "numpy"
+        assert canonical_backend_spec("torch") == "torch:cpu"
+        assert canonical_backend_spec("torch", "cuda") == "torch:cuda"
+        assert canonical_backend_spec("torch:cuda:1") == "torch:cuda:1"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch")
+        assert canonical_backend_spec() == "torch:cpu"
+
+
+# ---------------------------------------------------------------------------
+# the numpy backend is the reference implementation
+# ---------------------------------------------------------------------------
+class TestNumpyBackendOps:
+    def test_asarray_is_identity_for_float64(self):
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert NUMPY_BACKEND.asarray(x) is x
+        assert NUMPY_BACKEND.to_numpy(x) is x
+
+    def test_gather_and_index_add(self):
+        rng = np.random.default_rng(0)
+        table = rng.normal(size=(10, 4))
+        idx = np.array([3, 3, 7])
+        assert np.array_equal(NUMPY_BACKEND.gather(table, idx), table[idx])
+        target = np.zeros((10, 4))
+        rows = rng.normal(size=(3, 4))
+        expected = target.copy()
+        np.add.at(expected, idx, rows)
+        NUMPY_BACKEND.index_add_(target, idx, rows)
+        assert np.array_equal(target, expected)
+
+    def test_dots_match_einsum(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(5, 3))
+        bundle = rng.normal(size=(5, 4, 3))
+        coeff = rng.normal(size=(5, 4))
+        assert np.array_equal(
+            NUMPY_BACKEND.rowwise_dot(a, b), np.einsum("ij,ij->i", a, b)
+        )
+        assert np.array_equal(
+            NUMPY_BACKEND.batched_rowwise_dot(a, bundle),
+            np.einsum("ij,ikj->ik", a, bundle),
+        )
+        assert np.array_equal(
+            NUMPY_BACKEND.weighted_rows_sum(coeff, bundle),
+            np.einsum("ik,ikj->ij", coeff, bundle),
+        )
+
+    def test_activations_match_functional(self):
+        from repro.nn import functional as F
+
+        x = np.linspace(-600, 600, 41)
+        assert np.array_equal(NUMPY_BACKEND.sigmoid(x), F.sigmoid(x))
+        assert np.array_equal(NUMPY_BACKEND.log_sigmoid(x), F.log_sigmoid(x))
+        assert np.array_equal(NUMPY_BACKEND.relu(x), F.relu(x))
+        assert np.array_equal(NUMPY_BACKEND.tanh(x), F.tanh(x))
+        m = x.reshape(-1, 1) + np.arange(3)
+        assert np.array_equal(NUMPY_BACKEND.softmax(m, axis=1), F.softmax(m, axis=1))
+
+    def test_row_ops_match_privacy_clipping(self):
+        from repro.privacy.clipping import clip_by_l2_norm, clip_rows_by_l2_norm
+
+        rng = np.random.default_rng(2)
+        g = rng.normal(scale=3.0, size=(6, 4))
+        assert np.array_equal(NUMPY_BACKEND.clip_rows(g, 1.0), clip_rows_by_l2_norm(g, 1.0))
+        assert np.array_equal(NUMPY_BACKEND.clip_global(g, 1.0), clip_by_l2_norm(g, 1.0))
+        x = rng.normal(size=(6, 4))
+        expected = x.copy()
+        norms = np.linalg.norm(expected, axis=1, keepdims=True)
+        np.divide(expected, np.maximum(norms, 1.0), out=expected)
+        NUMPY_BACKEND.normalize_rows_(x, 1.0)
+        assert np.array_equal(x, expected)
+
+    def test_gaussian_is_the_raw_generator_stream(self):
+        draws = NUMPY_BACKEND.gaussian(np.random.default_rng(42), 0.0, 2.0, (3, 2))
+        assert np.array_equal(
+            draws, np.random.default_rng(42).normal(0.0, 2.0, size=(3, 2))
+        )
+
+
+# ---------------------------------------------------------------------------
+# backend identity in the experiment cache
+# ---------------------------------------------------------------------------
+class TestCacheBackendIdentity:
+    def test_cell_backend_spec_precedence(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert cell_backend_spec(_cell()) == "numpy"
+        assert cell_backend_spec(_cell(backend="torch")) == "torch:cpu"
+        assert cell_backend_spec(_cell(backend="torch", device="cuda")) == "torch:cuda"
+        # A model-level override counts when the cell is silent...
+        via_model = _cell(model=ModelSpec(name="sgm", overrides={"backend": "torch"}))
+        assert cell_backend_spec(via_model) == "torch:cpu"
+        # ...but the cell-level field wins (mirrors _compute_cell).
+        both = _cell(
+            model=ModelSpec(name="sgm", overrides={"backend": "torch"}),
+            backend="numpy",
+        )
+        assert cell_backend_spec(both) == "numpy"
+
+    def test_numpy_and_torch_cells_never_share_a_key(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        keys = {
+            cell_key(_cell()),
+            cell_key(_cell(backend="numpy")),  # same work: unset == numpy
+            cell_key(_cell(backend="torch")),
+            cell_key(_cell(backend="torch", device="cuda")),
+        }
+        assert cell_key(_cell()) == cell_key(_cell(backend="numpy"))
+        assert len(keys) == 3
+        # Naming the backend through the model overrides is the same work
+        # unit as naming it on the cell — one key for both spellings.
+        via_model = _cell(model=ModelSpec(name="sgm", overrides={"backend": "torch"}))
+        assert cell_key(via_model) == cell_key(_cell(backend="torch"))
+
+    def test_env_backend_changes_the_key(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        ambient = cell_key(_cell())
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch")
+        assert cell_key(_cell()) != ambient
+        # ...and matches an explicit torch request: same computation.
+        assert cell_key(_cell()) == cell_key(_cell(backend="torch:cpu"))
+
+    def test_manifest_records_backend(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        store = ResultStore(tmp_path)
+        cell = _cell(backend="torch")
+        store.put(cell, {"auc": 0.5})
+        manifest = store.manifest(cell)
+        assert manifest.backend == "torch:cpu"
+        assert manifest.cell["backend"] == "torch:cpu"
+
+    def test_stale_schema_entry_is_a_tolerated_miss(self, tmp_path, monkeypatch):
+        """A v1 (pre-backend) entry under the current key is ignored, never an error."""
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        store = ResultStore(tmp_path)
+        cell = _cell()
+        key = store.key(cell)
+        path = store._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stale = {
+            "manifest": {"key": key, "schema_version": 1, "cell": {}},
+            "row": {"auc": 0.9},
+        }
+        path.write_text(json.dumps(stale))
+        assert store.get(cell) is None
+        assert store.stats.stale == 1
+
+
+# ---------------------------------------------------------------------------
+# model plumbing: configs, make_model, explicit-numpy parity
+# ---------------------------------------------------------------------------
+class TestModelPlumbing:
+    @pytest.mark.parametrize(
+        "name",
+        ["sgm", "advsgm", "advsgm-nodp", "deepwalk", "node2vec",
+         "dpsgm", "dpasgm", "dpggan", "dpgvae", "gap", "dpar"],
+    )
+    def test_every_config_carries_backend_fields(self, name):
+        from repro.api.registry import config_field_names
+
+        fields = config_field_names(name)
+        assert "backend" in fields and "device" in fields
+
+    def test_make_model_backend_kwarg_sets_config(self):
+        model = repro.make_model("sgm", backend="numpy", device="cpu")
+        assert model.config.backend == "numpy"
+        assert model.config.device == "cpu"
+
+    def test_unknown_backend_fails_at_bind_time(self):
+        model = repro.make_model("sgm", backend="not-a-backend")
+        with pytest.raises(BackendError, match="unknown backend"):
+            model.fit(golden_graph())
+
+    def test_explicit_numpy_is_bit_for_bit_the_default(self):
+        graph = golden_graph()
+        overrides = dict(GOLDEN_CASES["sgm"]["overrides"])
+        default = repro.make_model("sgm", graph=graph, rng=11, **overrides).fit()
+        explicit = repro.make_model(
+            "sgm", graph=graph, rng=11, backend="numpy", **overrides
+        ).fit()
+        assert np.array_equal(default.embeddings_, explicit.embeddings_)
+
+    def test_import_repro_does_not_import_torch(self):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro; "
+            "assert 'torch' not in sys.modules, 'torch was imported eagerly'; "
+            "print('gate-ok')"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env={"PYTHONPATH": "src"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert "gate-ok" in out.stdout
+
+
+# ---------------------------------------------------------------------------
+# torch parity (skips without torch; exercised by the CI torch job)
+# ---------------------------------------------------------------------------
+torch = pytest.importorskip("torch") if TORCH_AVAILABLE else None
+
+#: Small-but-complete schedules for the numpy-vs-torch model parity sweep:
+#: the four golden cases plus the remaining private trainers.
+PARITY_CASES = dict(GOLDEN_CASES)
+PARITY_CASES.update({
+    "advsgm-nodp": {
+        "model": "advsgm-nodp", "epsilon": None,
+        "overrides": {"embedding_dim": 16, "num_epochs": 2,
+                      "discriminator_steps": 2, "generator_steps": 1,
+                      "batch_size": 8},
+    },
+    "dpsgm": {
+        "model": "dpsgm", "epsilon": 6.0,
+        "overrides": {"embedding_dim": 16, "num_epochs": 2,
+                      "batches_per_epoch": 3, "batch_size": 8},
+    },
+    "dpasgm": {
+        "model": "dpasgm", "epsilon": 6.0,
+        "overrides": {"embedding_dim": 16, "num_epochs": 2,
+                      "batches_per_epoch": 3, "batch_size": 8,
+                      "generator_steps": 1},
+    },
+    "dpggan": {
+        "model": "dpggan", "epsilon": 6.0,
+        "overrides": {"embedding_dim": 16, "num_epochs": 2,
+                      "batches_per_epoch": 3, "batch_size": 8},
+    },
+    "dpgvae": {
+        "model": "dpgvae", "epsilon": 6.0,
+        "overrides": {"feature_dim": 12, "embedding_dim": 16, "num_epochs": 2,
+                      "batches_per_epoch": 3, "batch_size": 8},
+    },
+})
+
+
+@pytest.mark.skipif(not TORCH_AVAILABLE, reason="torch not installed")
+class TestTorchBackendOps:
+    def _backend(self):
+        return get_backend("torch", device="cpu")
+
+    def test_spec_and_device(self):
+        be = self._backend()
+        assert be.name == "torch"
+        assert be.spec == "torch:cpu"
+
+    def test_roundtrip_and_gather(self):
+        be = self._backend()
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        native = be.asarray(x)
+        assert np.allclose(be.to_numpy(native), x)
+        idx = np.array([0, 2, 2])
+        assert np.allclose(be.to_numpy(be.gather(native, idx)), x[idx])
+
+    def test_parameter_does_not_alias_numpy(self):
+        be = self._backend()
+        x = np.zeros((2, 2))
+        param = be.parameter(x)
+        param += 1.0
+        assert np.array_equal(x, np.zeros((2, 2)))
+
+    def test_ops_match_numpy_reference(self):
+        be = self._backend()
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(6, 4))
+        b = rng.normal(size=(6, 4))
+        bundle = rng.normal(size=(6, 5, 4))
+        coeff = rng.normal(size=(6, 5))
+        checks = [
+            (be.rowwise_dot(be.asarray(a), be.asarray(b)), NUMPY_BACKEND.rowwise_dot(a, b)),
+            (be.batched_rowwise_dot(be.asarray(a), be.asarray(bundle)),
+             NUMPY_BACKEND.batched_rowwise_dot(a, bundle)),
+            (be.weighted_rows_sum(be.asarray(coeff), be.asarray(bundle)),
+             NUMPY_BACKEND.weighted_rows_sum(coeff, bundle)),
+            (be.sigmoid(be.asarray(a)), NUMPY_BACKEND.sigmoid(a)),
+            (be.log_sigmoid(be.asarray(a)), NUMPY_BACKEND.log_sigmoid(a)),
+            (be.softmax(be.asarray(a), axis=1), NUMPY_BACKEND.softmax(a, axis=1)),
+            (be.clip(be.asarray(a), -0.5, None), NUMPY_BACKEND.clip(a, -0.5, None)),
+            (be.clip_rows(be.asarray(a * 3), 1.0), NUMPY_BACKEND.clip_rows(a * 3, 1.0)),
+            (be.clip_global(be.asarray(a * 3), 1.0), NUMPY_BACKEND.clip_global(a * 3, 1.0)),
+            (be.sum(be.asarray(a), axis=0), NUMPY_BACKEND.sum(a, axis=0)),
+            (be.mean(be.asarray(a)), NUMPY_BACKEND.mean(a)),
+        ]
+        for got, want in checks:
+            assert np.allclose(be.to_numpy(got), np.asarray(want), rtol=1e-12, atol=1e-12)
+
+    def test_index_add_accumulates_duplicates(self):
+        be = self._backend()
+        target = be.asarray(np.zeros((4, 2)))
+        rows = be.asarray(np.ones((3, 2)))
+        be.index_add_(target, np.array([1, 1, 3]), rows)
+        expected = np.zeros((4, 2)); expected[1] = 2.0; expected[3] = 1.0
+        assert np.allclose(be.to_numpy(target), expected)
+
+    def test_noise_stream_identical_to_numpy(self):
+        """Same seed => the same Gaussian noise on every backend."""
+        be = self._backend()
+        torch_draw = be.to_numpy(be.gaussian(np.random.default_rng(9), 0.0, 5.0, (4, 3)))
+        numpy_draw = NUMPY_BACKEND.gaussian(np.random.default_rng(9), 0.0, 5.0, (4, 3))
+        assert np.array_equal(torch_draw, numpy_draw)
+
+
+@pytest.mark.skipif(not TORCH_AVAILABLE, reason="torch not installed")
+class TestTorchModelParity:
+    """NumPy-vs-torch embeddings and metrics at rtol 1e-5, all trainers."""
+
+    RTOL = 1e-5
+    ATOL = 1e-8
+
+    @pytest.mark.parametrize("name", sorted(PARITY_CASES))
+    def test_embeddings_and_scores_match(self, name):
+        case = PARITY_CASES[name]
+        graph = golden_graph()
+        models = {}
+        for backend in ("numpy", "torch"):
+            models[backend] = repro.make_model(
+                case["model"],
+                epsilon=case["epsilon"],
+                graph=graph,
+                rng=77,
+                backend=backend,
+                **case["overrides"],
+            ).fit()
+        emb_np = models["numpy"].embeddings_
+        emb_torch = models["torch"].embeddings_
+        assert isinstance(emb_torch, np.ndarray)  # public surface stays numpy
+        assert emb_np.shape == emb_torch.shape
+        scale = np.maximum(np.abs(emb_np), 1.0)
+        assert np.allclose(emb_np, emb_torch, rtol=self.RTOL, atol=self.ATOL * scale.max()), (
+            f"{name}: max deviation "
+            f"{np.max(np.abs(emb_np - emb_torch) / scale):.3e} exceeds rtol"
+        )
+        pairs = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.int64)
+        assert np.allclose(
+            models["numpy"].score_edges(pairs),
+            models["torch"].score_edges(pairs),
+            rtol=self.RTOL, atol=self.ATOL,
+        )
+
+    def test_noise_seeding_determinism_per_backend(self):
+        """Two torch runs with one seed are identical to each other."""
+        case = PARITY_CASES["advsgm"]
+        graph = golden_graph()
+        runs = [
+            repro.make_model(
+                case["model"], epsilon=case["epsilon"], graph=graph, rng=5,
+                backend="torch", **case["overrides"],
+            ).fit().embeddings_
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_privacy_accounting_is_backend_independent(self):
+        """Same seed => identical accountant trajectory under numpy and torch."""
+        case = PARITY_CASES["dpsgm"]
+        graph = golden_graph()
+        spends = {}
+        for backend in ("numpy", "torch"):
+            model = repro.make_model(
+                case["model"], epsilon=case["epsilon"], graph=graph, rng=3,
+                backend=backend, **case["overrides"],
+            ).fit()
+            spent = model.privacy_spent()
+            spends[backend] = (spent.epsilon, spent.delta, model.stopped_early)
+        assert spends["numpy"] == spends["torch"]
