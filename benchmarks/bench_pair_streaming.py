@@ -1,14 +1,25 @@
-"""Benchmark the streaming pair pipeline against the materialised corpus path.
+"""Benchmark the pair pipelines: materialised vs streaming vs prefetch.
 
-Trains DeepWalk twice on the same synthetic graph — once with the default
-materialised ``ArrayPairSource`` and once with ``pair_streaming=True`` — and
-records wall-clock (graph build, fit) plus peak RSS and the peak pair-buffer
-size.  Each mode runs in its own subprocess so ``ru_maxrss`` (which is
-monotonic per process) measures that mode alone.
+Trains DeepWalk three times on the same synthetic graph — with the default
+materialised ``ArrayPairSource``, with ``pair_streaming=True``, and with
+``pair_prefetch=True`` (streaming plus a background producer) — and records
+wall-clock (graph build, fit), peak RSS and the peak pair-buffer size.  Each
+mode runs in its own subprocess so the memory numbers measure that mode alone.
 
-The point being measured: streaming keeps the peak pair buffer bounded by the
-chunk size (chunk + one batch) regardless of corpus size, while the
-materialised path must hold every (centre, context) pair at once.
+Peak RSS is sampled by a background thread that walks the /proc process tree
+(self plus descendants): a single end-of-run ``ru_maxrss`` read would miss
+transient peaks in the prefetch producer, which is a *separate process* whose
+memory never shows up in the parent's counters.  The sampler's peak is
+combined with ``ru_maxrss`` (self + reaped children), so the reported number
+is never below the single-point read.
+
+The points being measured: streaming keeps the peak pair buffer bounded by
+the chunk size regardless of corpus size; prefetch keeps that bound (queue
+depth included in the accounting) while overlapping walk generation,
+extraction and shuffling with SGD so the streaming wall-clock tax shrinks.
+The prefetch row reports ``consumer_wait_seconds`` (time the trainer spent
+blocked on the queue — near zero means the producer kept up) and every row
+reports ``pairs_per_second``.
 
 Usage::
 
@@ -25,8 +36,75 @@ import platform
 import resource
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
+
+MODES = ("materialised", "streaming", "prefetch")
+
+
+def _proc_tree_rss_kb(root_pid: int) -> int:
+    """Total VmRSS (kB) of ``root_pid`` and its descendants, via /proc.
+
+    Returns 0 when /proc is unavailable (non-Linux); the caller falls back
+    to ``ru_maxrss``.  Processes that vanish mid-scan are skipped.
+    """
+    info = {}
+    try:
+        pids = [int(name) for name in os.listdir("/proc") if name.isdigit()]
+    except OSError:
+        return 0
+    for pid in pids:
+        ppid = rss = 0
+        try:
+            with open(f"/proc/{pid}/status") as handle:
+                for line in handle:
+                    if line.startswith("PPid:"):
+                        ppid = int(line.split()[1])
+                    elif line.startswith("VmRSS:"):
+                        rss = int(line.split()[1])
+        except OSError:
+            continue
+        info[pid] = (ppid, rss)
+    total = 0
+    tree = {root_pid}
+    # Children appear after parents often enough that a few sweeps settle the
+    # transitive closure (the tree here is at most a handful deep).
+    for _ in range(5):
+        grew = False
+        for pid, (ppid, _) in info.items():
+            if ppid in tree and pid not in tree:
+                tree.add(pid)
+                grew = True
+        if not grew:
+            break
+    for pid in tree:
+        if pid in info:
+            total += info[pid][1]
+    return total
+
+
+class RssSampler(threading.Thread):
+    """Background thread sampling the process tree's RSS at a fixed cadence."""
+
+    def __init__(self, interval_seconds: float = 0.05) -> None:
+        super().__init__(name="rss-sampler", daemon=True)
+        self.interval_seconds = interval_seconds
+        self.peak_kb = 0
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        pid = os.getpid()
+        while not self._stop_event.is_set():
+            self.peak_kb = max(self.peak_kb, _proc_tree_rss_kb(pid))
+            self._stop_event.wait(self.interval_seconds)
+
+    def stop(self) -> int:
+        """Stop sampling; returns the peak including one final sample."""
+        self._stop_event.set()
+        self.join()
+        self.peak_kb = max(self.peak_kb, _proc_tree_rss_kb(os.getpid()))
+        return self.peak_kb
 
 
 def child_main(args: argparse.Namespace) -> None:
@@ -44,6 +122,8 @@ def child_main(args: argparse.Namespace) -> None:
     build_seconds = time.perf_counter() - build_start
 
     num_epochs = 1
+    sampler = RssSampler()
+    sampler.start()
     fit_start = time.perf_counter()
     model = make_model(
         "deepwalk",
@@ -57,29 +137,39 @@ def child_main(args: argparse.Namespace) -> None:
         num_epochs=num_epochs,
         batch_size=args.batch_size,
         pair_streaming=args.child == "streaming",
+        pair_prefetch=args.child == "prefetch",
+        prefetch_depth=args.prefetch_depth,
         stream_chunk_walks=args.chunk_walks,
         walk_workers=args.walk_workers,
     ).fit()
     fit_seconds = time.perf_counter() - fit_start
+    sampled_peak_kb = sampler.stop()
 
     source = model.pair_source_
-    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    ru_maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    ru_maxrss_kb += resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    pairs_per_epoch = (
+        int(source.num_pairs)
+        if source.num_pairs is not None
+        # pairs_delivered accumulates over the whole fit, so normalise by the
+        # epoch count to stay comparable with the materialised num_pairs.
+        else int(source.pairs_delivered) // num_epochs
+    )
     result = {
         "mode": args.child,
         "graph_build_seconds": build_seconds,
         "fit_seconds": fit_seconds,
-        "peak_rss_mb": peak_rss_kb / 1024.0,
+        "peak_rss_mb": max(sampled_peak_kb, ru_maxrss_kb) / 1024.0,
         "peak_pair_buffer": int(source.peak_buffer_pairs),
-        # pairs_delivered accumulates over the whole fit, so normalise by the
-        # epoch count to stay comparable with the materialised num_pairs.
-        "pairs_per_epoch": (
-            int(source.num_pairs)
-            if source.num_pairs is not None
-            else int(source.pairs_delivered) // num_epochs
-        ),
+        "pairs_per_epoch": pairs_per_epoch,
+        "pairs_per_second": pairs_per_epoch * num_epochs / max(1e-9, fit_seconds),
         "num_nodes": graph.num_nodes,
         "num_edges": graph.num_edges,
     }
+    if args.child == "prefetch":
+        result["prefetch_method"] = source.method
+        result["prefetch_depth"] = source.depth
+        result["consumer_wait_seconds"] = source.consumer_wait_seconds
     print(json.dumps(result))
 
 
@@ -91,6 +181,7 @@ def run_child(mode: str, args: argparse.Namespace) -> dict:
         "--window", str(args.window), "--dim", str(args.dim),
         "--batch-size", str(args.batch_size), "--chunk-walks", str(args.chunk_walks),
         "--walk-workers", str(args.walk_workers),
+        "--prefetch-depth", str(args.prefetch_depth),
     ]
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -112,14 +203,14 @@ def main() -> None:
     parser.add_argument("--batch-size", type=int, default=8192)
     parser.add_argument("--chunk-walks", type=int, default=8192)
     parser.add_argument("--walk-workers", type=int, default=1)
+    parser.add_argument("--prefetch-depth", type=int, default=2)
     parser.add_argument("--quick", action="store_true",
                         help="tiny workload for CI smoke runs")
     parser.add_argument(
         "--output", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_pair_streaming.json",
     )
-    parser.add_argument("--child", choices=["materialised", "streaming"],
-                        help=argparse.SUPPRESS)
+    parser.add_argument("--child", choices=list(MODES), help=argparse.SUPPRESS)
     args = parser.parse_args()
     if args.quick:
         args.nodes, args.edges = 20_000, 80_000
@@ -134,28 +225,55 @@ def main() -> None:
           f"({args.num_walks} pass(es) of length {args.walk_length}, "
           f"window {args.window})")
     results = {}
-    for mode in ("materialised", "streaming"):
+    for mode in MODES:
         results[mode] = run_child(mode, args)
         row = results[mode]
+        extra = ""
+        if mode == "prefetch":
+            extra = (f"  [{row['prefetch_method']}, depth {row['prefetch_depth']}, "
+                     f"waited {row['consumer_wait_seconds']:.2f}s]")
         print(f"  {mode:<13} fit {row['fit_seconds']:7.2f}s  "
               f"peak RSS {row['peak_rss_mb']:8.1f} MB  "
-              f"pair buffer {row['peak_pair_buffer']:>12,}")
+              f"pair buffer {row['peak_pair_buffer']:>12,}  "
+              f"{row['pairs_per_second']:>11,.0f} pairs/s{extra}")
 
-    mat, stream = results["materialised"], results["streaming"]
+    mat, stream, pre = (results[m] for m in MODES)
+    streaming_tax = stream["fit_seconds"] - mat["fit_seconds"]
+    prefetch_tax = pre["fit_seconds"] - mat["fit_seconds"]
     comparison = {
         "pair_buffer_reduction": mat["peak_pair_buffer"] / max(1, stream["peak_pair_buffer"]),
         "peak_rss_saved_mb": mat["peak_rss_mb"] - stream["peak_rss_mb"],
-        "fit_slowdown": stream["fit_seconds"] / max(1e-9, mat["fit_seconds"]),
+        "streaming_fit_slowdown": stream["fit_seconds"] / max(1e-9, mat["fit_seconds"]),
+        "prefetch_fit_slowdown": pre["fit_seconds"] / max(1e-9, mat["fit_seconds"]),
+        # Fraction of the streaming wall-clock tax that prefetching erased;
+        # meaningless when streaming was not measurably slower (tax ~ 0).
+        "overlap_ratio": (
+            max(0.0, min(1.0, 1.0 - prefetch_tax / streaming_tax))
+            if streaming_tax > 0.05 * mat["fit_seconds"]
+            else None
+        ),
     }
     print(f"  pair-buffer reduction: {comparison['pair_buffer_reduction']:.1f}x, "
           f"RSS saved: {comparison['peak_rss_saved_mb']:.1f} MB, "
-          f"fit slowdown: {comparison['fit_slowdown']:.2f}x")
+          f"fit slowdown: streaming {comparison['streaming_fit_slowdown']:.2f}x, "
+          f"prefetch {comparison['prefetch_fit_slowdown']:.2f}x")
+    if comparison["overlap_ratio"] is not None:
+        print(f"  overlap ratio: {comparison['overlap_ratio']:.0%} of the "
+              f"streaming tax erased")
 
     # The whole point of streaming: the buffer is bounded by one chunk of
-    # walks' pairs plus one batch, not by the corpus.
-    bound = args.chunk_walks * args.walk_length * 2 * args.window + args.batch_size
-    assert stream["peak_pair_buffer"] <= bound, (
-        f"streaming buffer {stream['peak_pair_buffer']} exceeds bound {bound}"
+    # walks' pairs plus one batch, not by the corpus.  Prefetch additionally
+    # holds up to `depth` chunks in the queue plus one at the producer.
+    chunk_pairs = args.chunk_walks * args.walk_length * 2 * args.window
+    assert stream["peak_pair_buffer"] <= chunk_pairs + args.batch_size, (
+        f"streaming buffer {stream['peak_pair_buffer']} exceeds bound"
+    )
+    prefetch_bound = (args.prefetch_depth + 2) * chunk_pairs + args.batch_size
+    assert pre["peak_pair_buffer"] <= prefetch_bound, (
+        f"prefetch buffer {pre['peak_pair_buffer']} exceeds bound {prefetch_bound}"
+    )
+    assert mat["pairs_per_epoch"] == stream["pairs_per_epoch"] == pre["pairs_per_epoch"], (
+        "modes disagree on pairs per epoch"
     )
 
     payload = {
@@ -170,11 +288,13 @@ def main() -> None:
             "batch_size": args.batch_size,
             "stream_chunk_walks": args.chunk_walks,
             "walk_workers": args.walk_workers,
+            "prefetch_depth": args.prefetch_depth,
             "quick": args.quick,
         },
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "results": results,
         "comparison": comparison,

@@ -83,7 +83,7 @@ from repro.train import (
     TrainingLoop,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdvSGM",

@@ -231,6 +231,8 @@ def _streaming_overrides(args: argparse.Namespace, model_name: str) -> Dict[str,
         ("--stream-pairs", "pair_streaming", True if args.stream_pairs else None),
         ("--chunk-walks", "stream_chunk_walks", args.chunk_walks),
         ("--walk-workers", "walk_workers", args.walk_workers),
+        ("--prefetch-pairs", "pair_prefetch", True if args.prefetch_pairs else None),
+        ("--prefetch-depth", "prefetch_depth", args.prefetch_depth),
     ):
         if value is None:
             continue
@@ -490,6 +492,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="walk rows per streamed pair chunk")
     p_train.add_argument("--walk-workers", type=int, default=None,
                          help="process-pool size for sharded walk generation")
+    p_train.add_argument("--prefetch-pairs", action="store_true",
+                         help="generate and shuffle pair chunks in a "
+                              "background producer, overlapping walk "
+                              "generation with SGD (implies streaming)")
+    p_train.add_argument("--prefetch-depth", type=int, default=None,
+                         help="bounded prefetch queue depth in chunks "
+                              "(default 2: double buffering)")
     p_train.add_argument("--backend", default=None,
                          help="compute backend (numpy | torch | torch:DEVICE; "
                               "see `backends list`)")

@@ -7,7 +7,10 @@ the default materialises the corpus once (:class:`~repro.train.ArrayPairSource`,
 bit-for-bit the historical behaviour), while ``pair_streaming=True`` streams
 shuffled chunks from :func:`repro.graph.random_walk.iter_walk_pairs` so the
 peak pair-buffer is bounded by the chunk size — and, as a side effect, every
-epoch trains on freshly sampled walks.
+epoch trains on freshly sampled walks.  ``pair_prefetch=True`` additionally
+moves chunk generation to a background producer
+(:class:`~repro.train.PrefetchingPairSource`) so walk generation and SGD
+overlap, with the identical delivered pair multiset seed-for-seed.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from repro.api.estimator import EstimatorMixin
 from repro.api.registry import register_model
 from repro.backend import get_backend
 from repro.graph.graph import Graph
-from repro.graph.random_walk import iter_walk_pairs, walks_to_pairs
+from repro.graph.random_walk import WalkPairChunkFactory, walks_to_pairs
 from repro.graph.sampling import (
     AliasTable,
     check_negative_distribution,
@@ -29,7 +32,14 @@ from repro.graph.sampling import (
 )
 from repro.nn.functional import sigmoid
 from repro.nn.init import uniform_embedding
-from repro.train import ArrayPairSource, PairSource, StreamingPairSource, TrainingLoop
+from repro.train import (
+    PREFETCH_METHODS,
+    ArrayPairSource,
+    PairSource,
+    PrefetchingPairSource,
+    StreamingPairSource,
+    TrainingLoop,
+)
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_positive
@@ -44,6 +54,15 @@ class DeepWalkConfig:
     every epoch).  ``stream_chunk_walks`` is the walk rows per streamed chunk,
     which bounds the pair buffer.  ``walk_workers > 1`` shards corpus
     generation across a process pool (derived per-pass seeds) in both modes.
+
+    ``pair_prefetch`` moves the streaming generation to a background producer
+    (:class:`~repro.train.PrefetchingPairSource`): chunks are generated and
+    shuffled ahead of SGD and delivered through a bounded queue of
+    ``prefetch_depth`` chunks, so walk generation overlaps training.  It
+    implies the streaming pipeline and delivers the identical pair multiset
+    seed-for-seed.  ``prefetch_method`` places the producer in a spawned
+    process (``"process"``), a thread (``"thread"``), or picks automatically
+    (``"auto"``: process when the graph pickles, thread otherwise).
     """
 
     embedding_dim: int = 128
@@ -58,17 +77,25 @@ class DeepWalkConfig:
     pair_streaming: bool = False
     stream_chunk_walks: int = 4096
     walk_workers: int = 1
+    pair_prefetch: bool = False
+    prefetch_depth: int = 2
+    prefetch_method: str = "auto"
     backend: Optional[str] = None
     device: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("embedding_dim", "num_walks", "walk_length", "window_size",
                      "num_negatives", "num_epochs", "batch_size",
-                     "stream_chunk_walks", "walk_workers"):
+                     "stream_chunk_walks", "walk_workers", "prefetch_depth"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         check_positive(self.learning_rate, "learning_rate")
         check_negative_distribution(self.negative_distribution)
+        if self.prefetch_method not in PREFETCH_METHODS:
+            raise ValueError(
+                f"prefetch_method must be one of {PREFETCH_METHODS}, "
+                f"got {self.prefetch_method!r}"
+            )
         if self.backend is not None:
             self.backend = str(self.backend)
         if self.device is not None:
@@ -134,23 +161,34 @@ class DeepWalk(EstimatorMixin):
         return {}
 
     def _make_pair_source(self) -> PairSource:
-        """Build the configured pair pipeline (materialised or streaming)."""
+        """Build the configured pair pipeline: materialised, streaming, or
+        streaming with a background prefetch producer.
+
+        The default (materialised) branch constructs no queue or worker
+        machinery at all — the golden digests depend on it staying exactly
+        the historical corpus-then-permute path.
+        """
         cfg = self.config
         bias = self._walk_bias()
-        if cfg.pair_streaming:
-            return StreamingPairSource(
-                lambda: iter_walk_pairs(
-                    self.graph,
-                    cfg.num_walks,
-                    cfg.walk_length,
-                    window_size=cfg.window_size,
-                    chunk_walks=cfg.stream_chunk_walks,
-                    rng=self._walk_rng,
-                    workers=cfg.walk_workers,
-                    **bias,
-                ),
-                batch_size=cfg.batch_size,
+        if cfg.pair_streaming or cfg.pair_prefetch:
+            factory = WalkPairChunkFactory(
+                graph=self.graph,
+                num_walks=cfg.num_walks,
+                walk_length=cfg.walk_length,
+                window_size=cfg.window_size,
+                chunk_walks=cfg.stream_chunk_walks,
+                workers=cfg.walk_workers,
+                rng=self._walk_rng,
+                **bias,
             )
+            if cfg.pair_prefetch:
+                return PrefetchingPairSource(
+                    factory,
+                    batch_size=cfg.batch_size,
+                    depth=cfg.prefetch_depth,
+                    method=cfg.prefetch_method,
+                )
+            return StreamingPairSource(factory, batch_size=cfg.batch_size)
         corpus = self.graph.walk_engine().walk_corpus(
             cfg.num_walks,
             cfg.walk_length,
@@ -212,9 +250,13 @@ class DeepWalk(EstimatorMixin):
         source = self._make_pair_source()
         self.pair_source_ = source
         loop = TrainingLoop(self.config.num_epochs, 1, callbacks=callbacks)
+        # The source rides the loop's resource list so its background
+        # producer (prefetch mode) is joined on every exit path — normal
+        # completion, a trainer exception, or KeyboardInterrupt.
         loop.run(
             lambda epoch, step: self._train_one_pass(source),
             lambda epoch, losses: self.history.record("loss", losses[0]),
+            resources=(source,),
         )
         return self
 

@@ -16,6 +16,7 @@ detail — downstream trainers shuffle pairs before batching anyway.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import chain
 from typing import Iterator, List, Sequence, Union
 
@@ -265,5 +266,45 @@ def iter_walk_pairs(
             if shuffle_rng is not None:
                 pairs = pairs[shuffle_rng.permutation(pairs.shape[0])]
             yield pairs
+
+
+@dataclass
+class WalkPairChunkFactory:
+    """Picklable zero-argument factory over :func:`iter_walk_pairs`.
+
+    One call is one corpus pass of shuffled pair chunks, advancing ``rng``
+    exactly as calling :func:`iter_walk_pairs` inline would — so consecutive
+    calls stream fresh walks, epoch after epoch.  Being a plain dataclass
+    (graph buffers and ``numpy.random.Generator`` both pickle, the generator
+    keeping its bit-generator state *and* seed-sequence spawn counter), the
+    factory can be shipped to a spawned prefetch producer which then replays
+    the identical pass sequence the in-process streaming path would have
+    generated.  This is what lets ``PrefetchingPairSource`` promise the same
+    pair multiset seed-for-seed in both thread and process mode.
+    """
+
+    graph: Graph
+    num_walks: int
+    walk_length: int
+    window_size: int = 5
+    p: float = 1.0
+    q: float = 1.0
+    chunk_walks: int = _STREAM_CHUNK_WALKS
+    workers: int = 1
+    rng: RngLike = field(default=None)
+
+    def __call__(self) -> Iterator[np.ndarray]:
+        self.rng = ensure_rng(self.rng)  # keep state across calls
+        return iter_walk_pairs(
+            self.graph,
+            self.num_walks,
+            self.walk_length,
+            window_size=self.window_size,
+            p=self.p,
+            q=self.q,
+            chunk_walks=self.chunk_walks,
+            rng=self.rng,
+            workers=self.workers,
+        )
 
 

@@ -23,6 +23,11 @@ from repro.train.pair_source import (
     SampledBatchSource,
     StreamingPairSource,
 )
+from repro.train.prefetch import (
+    PREFETCH_METHODS,
+    PrefetchingPairSource,
+    ProducerError,
+)
 from repro.train.protocol import Trainer
 
 __all__ = [
@@ -31,7 +36,10 @@ __all__ = [
     "Callback",
     "LoopResult",
     "PairSource",
+    "PREFETCH_METHODS",
+    "PrefetchingPairSource",
     "PrivacyBudget",
+    "ProducerError",
     "ProgressCallback",
     "SampledBatchSource",
     "StreamingPairSource",

@@ -1,6 +1,16 @@
-"""Shared pytest fixtures: small deterministic graphs and configurations."""
+"""Shared pytest fixtures: small deterministic graphs and configurations.
+
+Also provides a dependency-free ``@pytest.mark.timeout(seconds)`` guard
+(SIGALRM-based, POSIX main thread only): tests that drive background
+producers and bounded queues must *fail fast* on a deadlock instead of
+hanging the whole suite or a CI job.  On platforms without ``SIGALRM`` the
+marker is a no-op.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +18,41 @@ import pytest
 from repro.core.config import AdvSGMConfig
 from repro.graph.generators import labelled_powerlaw_community_graph, powerlaw_cluster_graph
 from repro.graph.graph import Graph
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test with TimeoutError if it runs longer "
+        "(SIGALRM-based; no-op off POSIX or outside the main thread)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    marker = item.get_closest_marker("timeout")
+    usable = (
+        marker is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+    seconds = int(marker.args[0])
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds}s timeout "
+            "(deadlocked queue or leaked worker?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")
