@@ -49,9 +49,15 @@ contribution:
     One module per paper table/figure that regenerates the reported series,
     all running through ``run_spec`` (serially or across a process pool,
     optionally against a result cache).
+``repro.service``
+    The embedding service: a lease-based cell scheduler behind a stdlib
+    HTTP server (``serve``), remote worker loops (``worker``) that recompute
+    cells through the same runner path, and an etag'd embeddings read path
+    for lookup-heavy clients.
 
 The command line mirrors the library: ``python -m repro train / evaluate /
-experiment / datasets list / models list``.
+experiment / serve / worker / submit / status / datasets list / models
+list``.
 """
 
 from repro.api import (
@@ -83,7 +89,7 @@ from repro.train import (
     TrainingLoop,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdvSGM",

@@ -21,6 +21,7 @@ from repro.cache.keys import (
     canonical_cell_dict,
     cell_backend_spec,
     cell_key,
+    spec_key,
 )
 from repro.cache.manifest import CacheManifest
 from repro.cache.store import (
@@ -42,4 +43,5 @@ __all__ = [
     "cell_key",
     "default_cache_dir",
     "resolve_store",
+    "spec_key",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
@@ -51,21 +52,46 @@ class CacheStats:
     ``hits``/``misses`` count reads, ``writes`` counts persisted results, and
     ``stale`` counts entries that existed on disk but were ignored (schema
     mismatch or unreadable content).
+
+    The counters are guarded by a lock: the embedding service shares one
+    store across every request thread of its HTTP server, and an unguarded
+    ``+= 1`` is a read-modify-write that loses increments under contention.
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     stale: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, counter: str, n: int = 1) -> None:
+        """Atomically add ``n`` to one of the counters."""
+        if counter not in ("hits", "misses", "writes", "stale"):
+            raise ValueError(f"unknown cache counter {counter!r}")
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-data form for logs and JSON reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "stale": self.stale,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "stale": self.stale,
+            }
+
+    # Locks don't pickle; a store crossing a process boundary starts its
+    # copy of the counters with a fresh lock (the values still travel).
+    def __getstate__(self) -> Dict[str, int]:
+        return self.as_dict()
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._lock = threading.Lock()
 
 
 class ResultStore:
@@ -107,7 +133,7 @@ class ResultStore:
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.stale += 1
+            self.stats.count("stale")
             return None
         manifest = entry.get("manifest") if isinstance(entry, dict) else None
         if (
@@ -115,7 +141,7 @@ class ResultStore:
             or manifest.get("schema_version") != CACHE_SCHEMA_VERSION
             or not isinstance(entry.get("row"), dict)
         ):
-            self.stats.stale += 1
+            self.stats.count("stale")
             return None
         return entry
 
@@ -133,17 +159,27 @@ class ResultStore:
         """
         entry = self._load_entry(self.key(cell))
         if entry is None:
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         if require_embeddings and not entry["manifest"].get("has_embeddings"):
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
-        self.stats.hits += 1
+        self.stats.count("hits")
         return dict(entry["row"])
 
     def load_embeddings(self, cell: ExperimentCell) -> Optional[np.ndarray]:
         """The embeddings stored with ``cell``'s entry, or ``None``."""
-        key = self.key(cell)
+        return self.load_embeddings_by_key(self.key(cell))
+
+    def load_embeddings_by_key(self, key: str) -> Optional[np.ndarray]:
+        """The embeddings stored under a raw content-address, or ``None``.
+
+        The read path of the embedding service: lookup-heavy clients hold
+        bare ``cell_key`` strings (they are the etags), not cells.  Same
+        defensive semantics as :meth:`load_embeddings` — an entry that does
+        not advertise embeddings, or whose ``.npz`` is unreadable, is a
+        miss, never an exception.
+        """
         entry = self._load_entry(key)
         if entry is None or not entry["manifest"].get("has_embeddings"):
             return None
@@ -151,8 +187,24 @@ class ResultStore:
             with np.load(self._embeddings_path(key)) as payload:
                 return np.ascontiguousarray(payload["embeddings"])
         except (OSError, KeyError, ValueError):
-            self.stats.stale += 1
+            self.stats.count("stale")
             return None
+
+    def report(self) -> Dict[str, Any]:
+        """Machine-readable report of the store: root, entries and stats.
+
+        One format shared by ``python -m repro cache report --json`` and the
+        service's ``GET /cache`` endpoint, so shell scripts and HTTP clients
+        parse the same shape.
+        """
+        manifests = list(self.entries())
+        return {
+            "root": str(self.root),
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "count": len(manifests),
+            "entries": manifests,
+            "stats": self.stats.as_dict(),
+        }
 
     def manifest(self, cell: ExperimentCell) -> Optional[CacheManifest]:
         """The provenance manifest of ``cell``'s entry, or ``None``.
@@ -166,7 +218,7 @@ class ResultStore:
         try:
             return CacheManifest.from_dict(entry["manifest"])
         except (TypeError, ValueError):
-            self.stats.stale += 1
+            self.stats.count("stale")
             return None
 
     def __contains__(self, cell: ExperimentCell) -> bool:
@@ -219,7 +271,7 @@ class ResultStore:
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
         os.replace(tmp, entry_path)
-        self.stats.writes += 1
+        self.stats.count("writes")
         return key
 
     # ------------------------------------------------------------------

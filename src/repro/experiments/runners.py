@@ -238,15 +238,16 @@ def spec_from_settings(
     )
 
 
-def _compute_cell(
+def compute_cell(
     cell: ExperimentCell, capture_embeddings: bool = False
 ) -> Tuple[Dict[str, Any], Optional[np.ndarray], float]:
     """Compute one cell from scratch: ``(row, embeddings-or-None, seconds)``.
 
-    This is the unit of work of the multiprocess runner, so it is a plain
-    module-level function of picklable arguments.  The row is normalised to
-    plain Python scalars so it is identical whether it is consumed directly
-    or after a JSON round-trip through the cache.
+    This is the unit of work of the multiprocess runner *and* of the
+    embedding service's remote workers, so it is a plain module-level
+    function of picklable arguments.  The row is normalised to plain Python
+    scalars so it is identical whether it is consumed directly or after a
+    JSON round-trip through the cache or the service wire format.
     """
     from repro.utils.serialization import to_plain
 
@@ -309,6 +310,11 @@ def _compute_cell(
     return to_plain(row), embeddings, time.perf_counter() - start
 
 
+#: Historical name; the function went public when the embedding service's
+#: workers started computing cells through it.
+_compute_cell = compute_cell
+
+
 def run_cell(
     cell: ExperimentCell,
     cache: CacheLike = None,
@@ -331,7 +337,7 @@ def run_cell(
         cached = store.get(cell, require_embeddings=store_embeddings)
         if cached is not None:
             return cached
-    row, embeddings, wall = _compute_cell(
+    row, embeddings, wall = compute_cell(
         cell, capture_embeddings=store_embeddings and store is not None
     )
     if store is not None:
@@ -379,13 +385,13 @@ def run_spec(
     capture = bool(store_embeddings)
     if workers <= 1:
         for index in pending:
-            row, embeddings, wall = _compute_cell(cells[index], capture)
+            row, embeddings, wall = compute_cell(cells[index], capture)
             store.put(cells[index], row, embeddings=embeddings, wall_time=wall)
             rows[index] = row
     elif pending:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_compute_cell, cells[index], capture): index
+                pool.submit(compute_cell, cells[index], capture): index
                 for index in pending
             }
             # One failing cell must not discard its siblings' finished work:

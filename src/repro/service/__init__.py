@@ -1,0 +1,58 @@
+"""Embedding service: lease-based distributed sweeps over HTTP.
+
+The registry / spec / cache stack already made experiment cells
+self-contained, content-addressed and deterministic; this package adds the
+serving shell around them (stdlib-only — ``http.server`` + ``json``):
+
+:class:`CellScheduler`
+    Queue of pending cells with time-bounded leases.  Lease -> compute ->
+    report; a dead worker's lease simply expires and the cell is re-leased.
+    Duplicate completions are idempotent because completions are
+    content-addressed writes into the shared store.
+:class:`ServiceServer`
+    ``ThreadingHTTPServer`` exposing spec submission, worker lease/renew/
+    report, per-spec progress, the shared cache report and an etag'd
+    ``GET /embeddings/<cell_key>`` read path (the content-address is the
+    validator, so lookup-heavy clients revalidate for free with ``304``).
+:class:`ServiceWorker` / :class:`ServiceClient`
+    The worker loop (poll, lease, recompute via the existing
+    :func:`~repro.experiments.runners.compute_cell`, report, heartbeat,
+    jittered idle backoff) and the thin HTTP client it shares with the CLI.
+
+The CLI mirrors the roles: ``python -m repro serve | worker | submit |
+status``.  When all workers run on one machine, plain
+``run_spec(spec, workers=N)`` remains the simpler tool; the service earns
+its keep across machines, across sessions, and for serving finished
+embeddings to many clients.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    CellScheduler,
+    SchedulerError,
+)
+from repro.service.server import (
+    ServiceServer,
+    decode_embeddings,
+    embeddings_to_npy,
+    encode_embeddings,
+    npy_to_embeddings,
+)
+from repro.service.worker import ServiceWorker
+
+__all__ = [
+    "CellScheduler",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "SchedulerError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceWorker",
+    "decode_embeddings",
+    "embeddings_to_npy",
+    "encode_embeddings",
+    "npy_to_embeddings",
+]

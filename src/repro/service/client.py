@@ -1,0 +1,176 @@
+"""Thin stdlib HTTP client for the embedding service.
+
+Shared by :class:`~repro.service.worker.ServiceWorker`, the ``submit`` /
+``status`` CLI subcommands and tests, so there is exactly one place that
+knows the wire format.  Transport errors surface as :class:`ServiceError`
+with a one-line message (the CLI prints them verbatim, no tracebacks).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.spec import ExperimentSpec
+from repro.service.server import npy_to_embeddings
+
+
+class ServiceError(RuntimeError):
+    """A service request failed (unreachable server or error response)."""
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running service (a bare ``host:port`` is
+        accepted and normalised).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        url = str(base_url).strip().rstrip("/")
+        if not url.startswith(("http://", "https://")):
+            url = f"http://{url}"
+        self.base_url = url
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        body = None
+        request_headers = dict(headers or {})
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            request_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=request_headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            # 304 is a success outcome of conditional GETs, not an error.
+            if exc.code == 304:
+                return exc.code, dict(exc.headers), b""
+            detail = self._error_detail(exc)
+            raise ServiceError(
+                f"server at {self.base_url} rejected {method} {path}: "
+                f"{exc.code} {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach server at {self.base_url}: {exc.reason}"
+            ) from None
+        except TimeoutError:
+            raise ServiceError(
+                f"server at {self.base_url} timed out after {self.timeout:g}s"
+            ) from None
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            data = json.loads(exc.read().decode("utf-8"))
+            return str(data.get("error", exc.reason))
+        except Exception:  # noqa: BLE001 — any unparsable body falls back
+            return str(exc.reason)
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        status, _, body = self._request(method, path, payload)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"server at {self.base_url} returned undecodable JSON "
+                f"for {method} {path} (HTTP {status}): {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe (``GET /health``)."""
+        return self._json("GET", "/health")
+
+    def submit(self, spec: ExperimentSpec) -> Dict[str, Any]:
+        """Submit a spec; returns ``{spec_id, cells, cached, pending}``."""
+        return self._json("POST", "/specs", {"spec": spec.to_dict()})
+
+    def status(self, spec_id: Optional[str] = None) -> Dict[str, Any]:
+        """Progress of one spec, or of all specs when ``spec_id`` is None."""
+        if spec_id is None:
+            return self._json("GET", "/specs")
+        return self._json("GET", f"/specs/{spec_id}")
+
+    def lease(
+        self, worker: str = "", lease_seconds: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Lease the next pending cell (``{"lease": None, ...}`` when idle)."""
+        payload: Dict[str, Any] = {"worker": worker}
+        if lease_seconds is not None:
+            payload["lease_seconds"] = lease_seconds
+        return self._json("POST", "/lease", payload)
+
+    def renew(self, lease_id: str) -> Dict[str, Any]:
+        """Heartbeat one lease."""
+        return self._json("POST", "/renew", {"lease_id": lease_id})
+
+    def report(
+        self,
+        cell_key: str,
+        row: Optional[Dict[str, Any]] = None,
+        embeddings_b64: Optional[str] = None,
+        wall_time: float = 0.0,
+        lease_id: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Deliver one cell's result row (or failure) to the scheduler."""
+        return self._json("POST", "/report", {
+            "cell_key": cell_key,
+            "row": row,
+            "embeddings": embeddings_b64,
+            "wall_time": wall_time,
+            "lease_id": lease_id,
+            "error": error,
+        })
+
+    def cache_report(self) -> Dict[str, Any]:
+        """The shared machine-readable store report (``GET /cache``)."""
+        return self._json("GET", "/cache")
+
+    def embeddings(
+        self, cell_key: str, etag: Optional[str] = None
+    ) -> Tuple[int, str, Optional[np.ndarray]]:
+        """Fetch stored embeddings with optional etag revalidation.
+
+        Returns ``(http_status, etag, array)``; on a ``304 Not Modified``
+        the array is ``None`` and the caller keeps its cached copy.
+        """
+        headers = {"If-None-Match": etag} if etag else None
+        status, response_headers, body = self._request(
+            "GET", f"/embeddings/{cell_key}", headers=headers
+        )
+        returned_etag = response_headers.get("ETag", "").strip('"')
+        if status == 304:
+            return status, returned_etag, None
+        return status, returned_etag, npy_to_embeddings(body)
+
+    def specs_list(self) -> List[Dict[str, Any]]:
+        """Convenience: the ``specs`` array of :meth:`status`."""
+        return list(self.status()["specs"])

@@ -1,0 +1,337 @@
+"""Lease-based scheduling of experiment cells to distributed workers.
+
+:class:`CellScheduler` is the service's brain, and it is deliberately small
+because the hard invariants were already paid for by earlier layers:
+
+* **Cells are content-addressed** (:func:`repro.cache.cell_key`) and carry
+  their own derived seeds, so any worker computes bit-for-bit the same
+  result.  Duplicate completions are therefore harmless — the store's atomic
+  replace makes the last write win with identical bytes.
+* **Leases are time-bounded, not tracked liveness.**  A worker that dies
+  simply stops renewing; once the lease deadline passes the cell returns to
+  the pending queue and is re-leased.  There is no failure detector and no
+  worker registry to keep consistent.
+* **The store is the only durable state.**  Cells already present in the
+  shared :class:`~repro.cache.ResultStore` are marked done at submit time
+  (skip-on-submit), so resubmitting a finished spec costs nothing and a
+  restarted service reconstructs progress from the cache.
+
+The scheduler is shared by every request thread of the HTTP server, so all
+mutating operations hold one lock.  Expired leases are reaped lazily on the
+operations that observe them (lease / renew / progress) — no background
+timer thread to shut down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.api.spec import ExperimentCell, ExperimentSpec
+from repro.cache import ResultStore, cell_key, spec_key
+
+#: Default seconds a lease stays valid without a renewal.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Explicit worker-reported failures tolerated before a cell is marked
+#: ``failed``.  Lease *expiries* never count — a worker dying must not burn
+#: the cell's budget, only a worker reporting a real error does.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class SchedulerError(KeyError):
+    """A request referenced an unknown cell, spec or lease."""
+
+
+@dataclass
+class _CellState:
+    """Scheduler-side state of one content-addressed cell."""
+
+    cell: ExperimentCell
+    key: str
+    status: str = "pending"  # pending | leased | done | failed
+    cached: bool = False  # done via skip-on-submit, not a worker report
+    lease_id: Optional[str] = None
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    attempts: int = 0
+    spec_ids: Set[str] = field(default_factory=set)
+
+
+class CellScheduler:
+    """Queue of pending :class:`ExperimentCell` s with time-bounded leases.
+
+    Parameters
+    ----------
+    store:
+        Shared result store completed cells are written to (and probed at
+        submit time for skip-on-submit).
+    lease_seconds:
+        Validity window of a lease; workers renew long computations.
+    max_attempts:
+        Explicit worker-reported failures before a cell is marked failed.
+    store_embeddings:
+        Whether workers are asked to capture and report embeddings (required
+        for the ``GET /embeddings/<cell_key>`` read path).
+    clock:
+        Monotonic time source; injectable so tests drive lease expiry
+        without sleeping.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        store_embeddings: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.store = store
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.store_embeddings = bool(store_embeddings)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cells: Dict[str, _CellState] = {}
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._spec_cells: Dict[str, List[str]] = {}  # spec_id -> ordered keys
+        self._queue: deque = deque()  # pending cell keys, FIFO
+        self._leases: Dict[str, str] = {}  # lease_id -> cell key
+
+    # ------------------------------------------------------------------
+    # submit
+    # ------------------------------------------------------------------
+    def submit(self, spec: ExperimentSpec) -> Dict[str, Any]:
+        """Register ``spec``'s cells; returns id, cell count and cached count.
+
+        Cells already present in the shared store are marked done
+        immediately (with embeddings required iff the scheduler serves
+        embeddings), so a second submit of a completed spec enqueues
+        nothing.  Resubmitting re-probes the store for still-pending cells,
+        so work finished out-of-band (e.g. a plain ``run_spec`` against the
+        same cache directory) is also recognised.
+        """
+        sid = spec_key(spec)
+        cells = spec.cells()
+        with self._lock:
+            self._specs[sid] = spec
+            keys: List[str] = []
+            cached = 0
+            for cell in cells:
+                key = cell_key(cell)
+                keys.append(key)
+                state = self._cells.get(key)
+                if state is None:
+                    state = _CellState(cell=cell, key=key)
+                    self._cells[key] = state
+                state.spec_ids.add(sid)
+                if state.status == "pending" and self._probe_store(cell):
+                    state.status = "done"
+                    state.cached = True
+                # "cached" counts every cell the submitter gets for free —
+                # skip-on-submit hits *and* cells a worker already finished
+                # (a resubmit of a completed spec reports all cells cached).
+                if state.status == "done":
+                    cached += 1
+                elif state.status == "pending" and key not in self._queue:
+                    self._queue.append(key)
+            self._spec_cells[sid] = keys
+            return {
+                "spec_id": sid,
+                "cells": len(keys),
+                "cached": cached,
+                "pending": sum(
+                    1 for k in keys if self._cells[k].status == "pending"
+                ),
+            }
+
+    def _probe_store(self, cell: ExperimentCell) -> bool:
+        """Whether the store already holds this cell (skip-on-submit)."""
+        return self.store.get(cell, require_embeddings=self.store_embeddings) is not None
+
+    # ------------------------------------------------------------------
+    # lease / renew / report
+    # ------------------------------------------------------------------
+    def lease(
+        self, worker: str = "", lease_seconds: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Lease the next pending cell to ``worker``; ``None`` when idle.
+
+        The returned payload carries everything a remote worker needs: the
+        cell's plain-data dict, its content-address, the lease id + window,
+        and whether to capture embeddings.
+        """
+        window = float(lease_seconds) if lease_seconds else self.lease_seconds
+        with self._lock:
+            self._reap_expired()
+            while self._queue:
+                key = self._queue.popleft()
+                state = self._cells[key]
+                if state.status != "pending":
+                    continue  # completed or failed while queued
+                lease_id = uuid.uuid4().hex
+                state.status = "leased"
+                state.lease_id = lease_id
+                state.worker = str(worker)
+                state.deadline = self._clock() + window
+                self._leases[lease_id] = key
+                return {
+                    "lease_id": lease_id,
+                    "cell_key": key,
+                    "cell": state.cell.to_dict(),
+                    "lease_seconds": window,
+                    "store_embeddings": self.store_embeddings,
+                }
+            return None
+
+    def renew(self, lease_id: str) -> Dict[str, Any]:
+        """Extend a live lease by one lease window (worker heartbeat).
+
+        Raises :class:`SchedulerError` for an unknown or expired lease — the
+        worker learns its computation has been forfeited and can stop.
+        """
+        with self._lock:
+            self._reap_expired()
+            key = self._leases.get(lease_id)
+            state = self._cells.get(key) if key else None
+            if state is None or state.lease_id != lease_id or state.status != "leased":
+                raise SchedulerError(f"unknown or expired lease {lease_id!r}")
+            state.deadline = self._clock() + self.lease_seconds
+            return {"cell_key": key, "lease_seconds": self.lease_seconds}
+
+    def report(
+        self,
+        cell_key_: str,
+        row: Optional[Dict[str, Any]] = None,
+        embeddings: Optional[np.ndarray] = None,
+        wall_time: float = 0.0,
+        lease_id: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Accept one cell's result (or failure) from a worker.
+
+        Idempotency: a duplicate report for a cell that is already done is a
+        no-op (``{"status": "duplicate"}``) — nothing is written, because the
+        stored entry is bit-for-bit what the duplicate would write anyway.
+        Late reports from expired leases are *accepted*: the computation is
+        deterministic, so a result is a result no matter whose lease it rode.
+        """
+        with self._lock:
+            state = self._cells.get(cell_key_)
+            if state is None:
+                raise SchedulerError(f"unknown cell {cell_key_!r}")
+            if error is not None:
+                self._release(state, lease_id)
+                state.attempts += 1
+                if state.attempts >= self.max_attempts:
+                    state.status = "failed"
+                    return {"status": "failed", "attempts": state.attempts}
+                state.status = "pending"
+                self._queue.append(state.key)
+                return {"status": "requeued", "attempts": state.attempts}
+            if state.status == "done":
+                self._release(state, lease_id)
+                return {"status": "duplicate"}
+            if row is None:
+                raise SchedulerError("report needs a row (or an error)")
+            cell = state.cell
+        # The store write happens outside the lock: it is file I/O, and the
+        # atomic-replace semantics make concurrent writes of the same key
+        # safe (identical bytes, last write wins).
+        self.store.put(cell, row, embeddings=embeddings, wall_time=wall_time)
+        with self._lock:
+            self._release(state, lease_id)
+            state.status = "done"
+            return {"status": "stored"}
+
+    def _release(self, state: _CellState, lease_id: Optional[str]) -> None:
+        """Drop a cell's lease bookkeeping (lock held by caller)."""
+        if state.lease_id is not None:
+            self._leases.pop(state.lease_id, None)
+        if lease_id is not None and lease_id != state.lease_id:
+            self._leases.pop(lease_id, None)
+        state.lease_id = None
+        state.worker = None
+        state.deadline = 0.0
+
+    def _reap_expired(self) -> None:
+        """Requeue cells whose lease deadline has passed (lock held)."""
+        now = self._clock()
+        for lease_id in [
+            lid
+            for lid, key in self._leases.items()
+            if self._cells[key].status == "leased"
+            and self._cells[key].deadline <= now
+        ]:
+            state = self._cells[self._leases[lease_id]]
+            self._release(state, None)
+            state.status = "pending"
+            self._queue.append(state.key)
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    def progress(self, spec_id: str) -> Dict[str, Any]:
+        """Per-spec progress counts; accepts any unique spec-id prefix."""
+        with self._lock:
+            self._reap_expired()
+            sid = self._resolve_spec_id(spec_id)
+            keys = self._spec_cells[sid]
+            counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+            cached = 0
+            for key in keys:
+                state = self._cells[key]
+                counts[state.status] += 1
+                cached += state.status == "done" and state.cached
+            if counts["done"] == len(keys):
+                status = "completed"
+            elif counts["failed"] and not counts["pending"] and not counts["leased"]:
+                status = "failed"
+            else:
+                status = "running"
+            return {
+                "spec_id": sid,
+                "status": status,
+                "cells": len(keys),
+                "cached": cached,
+                **counts,
+            }
+
+    def specs(self) -> List[Dict[str, Any]]:
+        """Progress of every submitted spec, in submission order."""
+        with self._lock:
+            ids = list(self._spec_cells)
+        return [self.progress(sid) for sid in ids]
+
+    def outstanding(self) -> int:
+        """Cells still pending or leased across all specs (0 == drained)."""
+        with self._lock:
+            self._reap_expired()
+            return sum(
+                1 for s in self._cells.values() if s.status in ("pending", "leased")
+            )
+
+    def cell_for_key(self, cell_key_: str) -> Optional[ExperimentCell]:
+        """The scheduled cell behind a content-address, if known."""
+        with self._lock:
+            state = self._cells.get(cell_key_)
+            return state.cell if state is not None else None
+
+    def _resolve_spec_id(self, spec_id: str) -> str:
+        """Resolve a full id or unique prefix to a submitted spec (lock held)."""
+        if spec_id in self._spec_cells:
+            return spec_id
+        matches = [sid for sid in self._spec_cells if sid.startswith(spec_id)]
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            raise SchedulerError(f"ambiguous spec id prefix {spec_id!r}")
+        raise SchedulerError(f"unknown spec {spec_id!r}")

@@ -10,7 +10,10 @@ The correctness contract is reproducibility:
 """
 
 import json
+import multiprocessing
+import pickle
 import random
+import threading
 
 import numpy as np
 import pytest
@@ -23,6 +26,7 @@ from repro.cache import (
     cell_key,
     default_cache_dir,
     resolve_store,
+    spec_key,
 )
 from repro.experiments.runners import _compute_cell, run_cell, run_spec
 
@@ -497,9 +501,125 @@ class TestCacheCli:
                      "--json", str(report_json)]) == 0
         out = capsys.readouterr().out
         assert "1 entries" in out and "deepwalk" in out
-        manifests = json.loads(report_json.read_text())
-        assert len(manifests) == 1
-        assert manifests[0]["schema_version"] == CACHE_SCHEMA_VERSION
+        # The --json format is the same report dict the service serves at
+        # GET /cache: root, schema version, count, entries, stats.
+        report = json.loads(report_json.read_text())
+        assert report == ResultStore(tmp_path).report()
+        assert report["count"] == 1
+        assert report["schema_version"] == CACHE_SCHEMA_VERSION
+        assert len(report["entries"]) == 1
+        assert report["entries"][0]["schema_version"] == CACHE_SCHEMA_VERSION
+        assert set(report["stats"]) == {"hits", "misses", "writes", "stale"}
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1 entries" in capsys.readouterr().out
         assert len(ResultStore(tmp_path)) == 0
+
+
+# ---------------------------------------------------------------------------
+# spec identity
+# ---------------------------------------------------------------------------
+class TestSpecKey:
+    def test_stable_and_round_trips_through_dict(self):
+        spec = tiny_spec()
+        assert spec_key(spec) == spec_key(spec)
+        assert spec_key(ExperimentSpec.from_dict(spec.to_dict())) == spec_key(spec)
+        assert len(spec_key(spec)) == 64
+
+    def test_same_cell_set_same_id_regardless_of_model_order(self):
+        # Spec identity is the *set* of cell keys, so reordering the grid
+        # axes does not mint a new spec id (same work == same spec).
+        small = ModelSpec("deepwalk", overrides=FAST_DEEPWALK)
+        wide = ModelSpec(
+            "deepwalk", overrides={**FAST_DEEPWALK, "embedding_dim": 16}
+        )
+        forward = tiny_spec()
+        ab = ExperimentSpec(**{**forward.to_dict(), "models": (small, wide)})
+        ba = ExperimentSpec(**{**forward.to_dict(), "models": (wide, small)})
+        assert spec_key(ab) == spec_key(ba)
+
+    def test_different_work_different_id(self):
+        base = tiny_spec(repeats=2)
+        assert spec_key(base) != spec_key(tiny_spec(repeats=3))
+        reseeded = ExperimentSpec(**{**base.to_dict(), "base_seed": 12})
+        assert spec_key(base) != spec_key(reseeded)
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers (the service's workers all report into one store)
+# ---------------------------------------------------------------------------
+def _hammer_put(root, cell, barrier, rounds):
+    """Child-process body: repeatedly put the same cell into a shared store."""
+    store = ResultStore(root)
+    embeddings = np.arange(12, dtype=np.float64).reshape(4, 3)
+    barrier.wait(timeout=30)  # maximise write overlap between the writers
+    for i in range(rounds):
+        store.put(cell, {"auc": 0.5, "round": i}, embeddings=embeddings)
+
+
+class TestConcurrentWriters:
+    @pytest.mark.timeout(120)
+    def test_two_processes_put_the_same_cell_concurrently(self, tmp_path):
+        """Both writers land: the entry stays valid and readable throughout.
+
+        The store's atomic temp-file + ``os.replace`` writes mean concurrent
+        same-key puts can interleave in any order and the survivor is always
+        one writer's complete, coherent entry (last write wins) — never a
+        torn mix of both.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        ctx = multiprocessing.get_context("fork")
+        cell = tiny_cell()
+        rounds = 25
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(target=_hammer_put, args=(tmp_path, cell, barrier, rounds))
+            for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in writers)
+
+        store = ResultStore(tmp_path)
+        assert len(store) == 1  # one content-address, however many writers
+        row = store.get(cell)
+        assert row is not None
+        assert row["auc"] == 0.5 and row["round"] == rounds - 1
+        np.testing.assert_array_equal(
+            store.load_embeddings(cell),
+            np.arange(12, dtype=np.float64).reshape(4, 3),
+        )
+        manifests = list(store.entries())
+        assert len(manifests) == 1
+        assert manifests[0]["key"] == cell_key(cell)
+
+    def test_cache_stats_counting_is_thread_safe(self, tmp_path):
+        store = ResultStore(tmp_path)
+        threads = [
+            threading.Thread(
+                target=lambda: [store.stats.count("hits") for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stats.hits == 8000
+        assert store.stats.as_dict() == {
+            "hits": 8000, "misses": 0, "writes": 0, "stale": 0
+        }
+
+    def test_cache_stats_rejects_unknown_counter(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).stats.count("nonsense")
+
+    def test_cache_stats_pickles_without_its_lock(self, tmp_path):
+        stats = ResultStore(tmp_path).stats
+        stats.count("writes", 3)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.writes == 3
+        clone.count("writes")  # the clone got a fresh, working lock
+        assert clone.writes == 4
