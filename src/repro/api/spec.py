@@ -140,6 +140,8 @@ class ExperimentCell:
     test_fraction: float = 0.1
     backend: Optional[str] = None
     device: Optional[str] = None
+    on_disk: bool = False
+    graph_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -163,13 +165,16 @@ class ExperimentCell:
             object.__setattr__(self, "backend", str(self.backend))
         if self.device is not None:
             object.__setattr__(self, "device", str(self.device))
+        object.__setattr__(self, "on_disk", bool(self.on_disk))
+        if self.graph_path is not None:
+            object.__setattr__(self, "graph_path", str(self.graph_path))
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-able)."""
         data = {f: getattr(self, f) for f in (
             "task", "dataset", "epsilon", "repeat", "seed",
             "dataset_scale", "dataset_seed", "test_fraction",
-            "backend", "device",
+            "backend", "device", "on_disk", "graph_path",
         )}
         data["model"] = self.model.to_dict()
         return data
@@ -213,6 +218,15 @@ class ExperimentSpec:
         :mod:`repro.backend`).  Carried per cell so a worker process, or a
         remote runner reading the cell from a cache manifest, reproduces the
         same placement.
+    on_disk:
+        Load every dataset as a memory-mapped on-disk graph
+        (``load_dataset(..., on_disk=True)``) instead of in RAM.  The arrays
+        are bit-identical either way, and cache keys are unaffected.
+    graph_path:
+        Path to a pre-built on-disk graph directory used *instead of* the
+        dataset registry (the ``datasets`` entry then only labels the runs).
+        The graph's content fingerprint is hashed into every cell key, so
+        two different graphs submitted under one name never alias.
     """
 
     task: str
@@ -226,6 +240,8 @@ class ExperimentSpec:
     test_fraction: float = 0.1
     backend: Optional[str] = None
     device: Optional[str] = None
+    on_disk: bool = False
+    graph_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -257,6 +273,13 @@ class ExperimentSpec:
             object.__setattr__(self, "backend", str(self.backend))
         if self.device is not None:
             object.__setattr__(self, "device", str(self.device))
+        object.__setattr__(self, "on_disk", bool(self.on_disk))
+        if self.graph_path is not None:
+            object.__setattr__(self, "graph_path", str(self.graph_path))
+            if len(self.datasets) > 1:
+                raise ValueError(
+                    "graph_path pins one graph; use a single dataset label"
+                )
 
     # ------------------------------------------------------------------
     def seed_for_repeat(self, repeat: int) -> int:
@@ -283,6 +306,8 @@ class ExperimentSpec:
                                 test_fraction=self.test_fraction,
                                 backend=self.backend,
                                 device=self.device,
+                                on_disk=self.on_disk,
+                                graph_path=self.graph_path,
                             )
                         )
         return tuple(out)
@@ -306,6 +331,8 @@ class ExperimentSpec:
             "test_fraction": self.test_fraction,
             "backend": self.backend,
             "device": self.device,
+            "on_disk": self.on_disk,
+            "graph_path": self.graph_path,
         }
 
     @classmethod

@@ -82,6 +82,19 @@ def canonical_cell_dict(cell: Union[ExperimentCell, Mapping[str, Any]]) -> Dict[
         if isinstance(overrides, dict):
             overrides.pop("backend", None)
             overrides.pop("device", None)
+    # Graph placement, like compute placement, is canonicalised away or
+    # resolved to content: ``on_disk`` only changes *where* bit-identical
+    # arrays live (parity is pinned in tests), so it never enters the key;
+    # a ``graph_path`` is replaced by the referenced graph's content
+    # fingerprint, so two different on-disk graphs submitted under the same
+    # dataset name can never alias — and moving a graph directory never
+    # invalidates its cache entries.
+    plain.pop("on_disk", None)
+    graph_path = plain.pop("graph_path", None)
+    if graph_path is not None:
+        from repro.graph.storage import storage_fingerprint
+
+        plain["graph_fingerprint"] = storage_fingerprint(graph_path)
     return plain
 
 

@@ -54,6 +54,10 @@ class DeepWalkConfig:
     every epoch).  ``stream_chunk_walks`` is the walk rows per streamed chunk,
     which bounds the pair buffer.  ``walk_workers > 1`` shards corpus
     generation across a process pool (derived per-pass seeds) in both modes.
+    ``frontier_shard`` additionally splits each pass's start-node frontier
+    into contiguous shards of that many nodes with pre-derived per-shard RNG
+    streams — the corpus is then bit-identical for every ``walk_workers``
+    count, and a single pass can be spread across the pool.
 
     ``pair_prefetch`` moves the streaming generation to a background producer
     (:class:`~repro.train.PrefetchingPairSource`): chunks are generated and
@@ -77,6 +81,7 @@ class DeepWalkConfig:
     pair_streaming: bool = False
     stream_chunk_walks: int = 4096
     walk_workers: int = 1
+    frontier_shard: Optional[int] = None
     pair_prefetch: bool = False
     prefetch_depth: int = 2
     prefetch_method: str = "auto"
@@ -89,6 +94,8 @@ class DeepWalkConfig:
                      "stream_chunk_walks", "walk_workers", "prefetch_depth"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.frontier_shard is not None and self.frontier_shard <= 0:
+            raise ValueError("frontier_shard must be positive")
         check_positive(self.learning_rate, "learning_rate")
         check_negative_distribution(self.negative_distribution)
         if self.prefetch_method not in PREFETCH_METHODS:
@@ -178,6 +185,7 @@ class DeepWalk(EstimatorMixin):
                 window_size=cfg.window_size,
                 chunk_walks=cfg.stream_chunk_walks,
                 workers=cfg.walk_workers,
+                frontier_shard=cfg.frontier_shard,
                 rng=self._walk_rng,
                 **bias,
             )
@@ -194,6 +202,7 @@ class DeepWalk(EstimatorMixin):
             cfg.walk_length,
             rng=self._walk_rng,
             workers=cfg.walk_workers,
+            frontier_shard=cfg.frontier_shard,
             **bias,
         )
         pairs = walks_to_pairs(corpus, window_size=cfg.window_size)

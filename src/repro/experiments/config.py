@@ -43,6 +43,9 @@ class ExperimentSettings:
     backend / device:
         Compute backend every cell trains on (``None`` defers to the model
         configs and then the ambient default; see :mod:`repro.backend`).
+    on_disk:
+        Load every dataset as a memory-mapped on-disk graph (materialised
+        once under the graph cache, bit-identical to the in-RAM build).
     """
 
     dataset_scale: float = 1.0
@@ -64,6 +67,7 @@ class ExperimentSettings:
     seed: int = 2025
     backend: Optional[str] = None
     device: Optional[str] = None
+    on_disk: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.dataset_scale, "dataset_scale")

@@ -235,6 +235,7 @@ def spec_from_settings(
         test_fraction=settings.test_fraction,
         backend=settings.backend,
         device=settings.device,
+        on_disk=settings.on_disk,
     )
 
 
@@ -252,9 +253,15 @@ def compute_cell(
     from repro.utils.serialization import to_plain
 
     start = time.perf_counter()
-    graph = load_dataset(
-        cell.dataset, scale=cell.dataset_scale, seed=cell.dataset_seed
-    )
+    if cell.graph_path is not None:
+        graph = Graph.open(cell.graph_path)
+    else:
+        graph = load_dataset(
+            cell.dataset,
+            scale=cell.dataset_scale,
+            seed=cell.dataset_seed,
+            on_disk=cell.on_disk,
+        )
     overrides = dict(cell.model.overrides)
     # The cell-level backend/device win over any model-spec override, so a
     # sweep re-run under --backend torch retrains every cell on torch.
@@ -456,6 +463,7 @@ def _single_cell(
         test_fraction=settings.test_fraction,
         backend=settings.backend,
         device=settings.device,
+        on_disk=settings.on_disk,
     )
 
 

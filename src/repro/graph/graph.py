@@ -1,15 +1,33 @@
 """Undirected graph container used throughout the library.
 
-The class stores the edge list, a CSR-like adjacency (offsets + neighbour
-array) for O(degree) neighbourhood queries, and optional node labels for the
-clustering experiments.  Nodes are integers ``0 .. num_nodes - 1``.
+The class delegates its arrays to a :class:`~repro.graph.storage.GraphStorage`
+backend: :class:`~repro.graph.storage.ArrayStorage` holds the edge list, a
+CSR-like adjacency (offsets + neighbour array) for O(degree) neighbourhood
+queries, and optional node labels in RAM;
+:class:`~repro.graph.storage.MmapStorage` maps the same arrays from an
+on-disk graph directory (see :meth:`Graph.open` / :meth:`Graph.save`), so a
+graph larger than RAM costs only page cache.  Nodes are integers
+``0 .. num_nodes - 1`` either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
+
+from repro.graph.storage import (
+    DEFAULT_CHUNK_EDGES,
+    ArrayStorage,
+    GraphStorage,
+    MmapStorage,
+    write_storage,
+)
+
+#: Node count above which dense adjacency materialisation is refused by
+#: default — a dense float64 matrix at this size is already ~3.2 GB.
+DENSE_LIMIT_DEFAULT = 20_000
 
 
 class Graph:
@@ -38,8 +56,7 @@ class Graph:
     ) -> None:
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
-        self.num_nodes = int(num_nodes)
-        self.name = str(name)
+        num_nodes = int(num_nodes)
 
         if isinstance(edges, np.ndarray):
             edge_arr = edges.astype(np.int64, copy=False)
@@ -63,78 +80,84 @@ class Graph:
                 raise ValueError(
                     f"edge ({u}, {v}) references a node outside [0, {num_nodes})"
                 )
-            # Dedup + canonical (u < v, lexicographically sorted) ordering in
-            # one shot: encode each undirected edge as lo * num_nodes + hi,
-            # radix-sort the keys (kind="stable" selects radix sort for
-            # integer dtypes, ~4x faster than np.unique's default sort) and
-            # drop consecutive duplicates.  int64 keys are exact for
-            # num_nodes < ~3e9.
-            lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
-            hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
-            keys = np.sort(lo * np.int64(self.num_nodes) + hi, kind="stable")
-            keep = np.empty(keys.size, dtype=bool)
-            keep[0] = True
-            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
-            keys = keys[keep]
-            self._edges = np.column_stack([keys // self.num_nodes, keys % self.num_nodes])
-        else:
-            self._edges = np.zeros((0, 2), dtype=np.int64)
-        self._edges.flags.writeable = False
 
         if labels is not None:
-            labels_arr = np.asarray(labels, dtype=np.int64)
+            labels_arr: Optional[np.ndarray] = np.asarray(labels, dtype=np.int64)
             if labels_arr.shape != (num_nodes,):
                 raise ValueError(
                     f"labels must have shape ({num_nodes},), got {labels_arr.shape}"
                 )
-            self.labels: Optional[np.ndarray] = labels_arr
         else:
-            self.labels = None
+            labels_arr = None
 
-        self._build_adjacency()
+        self._storage: GraphStorage = ArrayStorage.from_edge_array(
+            num_nodes, edge_arr, labels=labels_arr, name=str(name)
+        )
         self._walk_engine = None
+
+    @classmethod
+    def from_storage(cls, storage: GraphStorage) -> "Graph":
+        """Wrap an existing storage backend without re-validating its arrays."""
+        graph = object.__new__(cls)
+        graph._storage = storage
+        graph._walk_engine = None
+        return graph
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "Graph":
+        """Open an on-disk graph directory, memory-mapping its arrays.
+
+        The arrays are never loaded into RAM; reads fault pages on demand.
+        Build a directory with :meth:`save` or
+        :func:`repro.graph.ingest.build_disk_graph`.
+        """
+        return cls.from_storage(MmapStorage(path))
+
+    def save(self, path: Union[str, Path], overwrite: bool = False) -> Path:
+        """Write this graph as an on-disk graph directory; returns the path.
+
+        Streams the arrays in bounded-RAM chunks and writes ``meta.json``
+        (with the content fingerprint) last, so an interrupted save never
+        looks like a finished graph.
+        """
+        return write_storage(self._storage, path, overwrite=overwrite)
 
     def __getstate__(self) -> Dict:
         # The cached walk engine (and its node2vec tables) can dwarf the graph
         # itself; worker processes rebuild it lazily instead of unpickling it.
+        # A memory-mapped storage pickles as its path (MmapStorage.__reduce__),
+        # so spawned workers reopen the map instead of copying arrays.
         state = self.__dict__.copy()
         state["_walk_engine"] = None
         return state
-
-    def _build_adjacency(self) -> None:
-        """Build CSR offsets/neighbours and per-node degrees with array ops.
-
-        Each undirected edge contributes two directed arcs; lexsorting the
-        arcs by (source, target) places every neighbourhood contiguously and
-        already sorted, so ``has_edge`` can use binary search.
-        """
-        u, v = self._edges[:, 0], self._edges[:, 1]
-        n = np.int64(self.num_nodes)
-        # Sorting the encoded arcs src * n + dst groups each neighbourhood
-        # contiguously with its members ascending; radix sort (kind="stable")
-        # beats lexsort((dst, src)) by ~4x.
-        arcs = np.sort(np.concatenate([u * n + v, v * n + u]), kind="stable")
-        src = arcs // n
-        neighbours = arcs % n
-        degree = np.bincount(src, minlength=self.num_nodes).astype(np.int64)
-        offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
-        np.cumsum(degree, out=offsets[1:])
-        # Freeze the shared buffers: `edges`, `degrees` and `neighbours()`
-        # expose views of these arrays, and a caller silently writing through
-        # a view would corrupt the adjacency for everyone else.
-        for arr in (offsets, neighbours, degree):
-            arr.flags.writeable = False
-        self._offsets = offsets
-        self._neighbours = neighbours
-        self._degree = degree
 
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------
     @property
+    def storage(self) -> GraphStorage:
+        """The storage backend holding this graph's arrays."""
+        return self._storage
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes; node ids are ``0 .. num_nodes - 1``."""
+        return self._storage.num_nodes
+
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name."""
+        return self._storage.name
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """Per-node integer class labels, or ``None`` when unlabelled."""
+        return self._storage.labels
+
+    @property
     def num_edges(self) -> int:
         """Number of (undirected, deduplicated) edges."""
-        return int(self._edges.shape[0])
+        return self._storage.num_edges
 
     @property
     def edges(self) -> np.ndarray:
@@ -144,22 +167,36 @@ class Graph:
         before mutating (fancy indexing such as ``graph.edges[idx]`` already
         returns a fresh writable array).
         """
-        return self._edges
+        return self._storage.edges
 
     @property
     def degrees(self) -> np.ndarray:
         """Per-node degree array (read-only view)."""
-        return self._degree
+        return self._storage.degrees
 
     @property
     def csr_offsets(self) -> np.ndarray:
         """CSR offsets array of length ``num_nodes + 1`` (read-only view)."""
-        return self._offsets
+        return self._storage.csr_offsets
 
     @property
     def csr_neighbours(self) -> np.ndarray:
         """CSR neighbour array of length ``2 * num_edges`` (read-only view)."""
-        return self._neighbours
+        return self._storage.csr_neighbours
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Content fingerprint of the graph's arrays (sha256 hex digest).
+
+        Stable across the in-RAM / on-disk boundary: saving and reopening a
+        graph preserves it.  The experiment cache hashes it into ``cell_key``
+        for on-disk graph cells.
+        """
+        return self._storage.fingerprint
+
+    def iter_edges(self, chunk_edges: int = DEFAULT_CHUNK_EDGES) -> Iterator[np.ndarray]:
+        """Yield the edge array in row chunks of at most ``chunk_edges``."""
+        return self._storage.iter_edges(chunk_edges)
 
     def walk_engine(self) -> "WalkEngine":
         """Shared :class:`~repro.graph.walk_engine.WalkEngine` for this graph.
@@ -177,14 +214,15 @@ class Graph:
         """Sorted neighbour ids of ``node``."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
-        lo, hi = self._offsets[node], self._offsets[node + 1]
-        return self._neighbours[lo:hi]
+        offsets = self._storage.csr_offsets
+        lo, hi = offsets[node], offsets[node + 1]
+        return self._storage.csr_neighbours[lo:hi]
 
     def degree(self, node: int) -> int:
         """Degree of ``node``."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
-        return int(self._degree[node])
+        return int(self._storage.degrees[node])
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``(u, v)`` exists."""
@@ -199,18 +237,43 @@ class Graph:
     # ------------------------------------------------------------------
     # matrix views
     # ------------------------------------------------------------------
-    def adjacency_matrix(self, dtype=np.float64) -> np.ndarray:
-        """Dense symmetric adjacency matrix (only sensible for small graphs)."""
+    def _check_dense_limit(self, method: str, dense_limit: Optional[int]) -> None:
+        if dense_limit is not None and self.num_nodes > dense_limit:
+            raise ValueError(
+                f"{method} refuses to materialise a {self.num_nodes}x"
+                f"{self.num_nodes} dense matrix (dense_limit={dense_limit}); "
+                f"raise dense_limit or pass dense_limit=None to override"
+            )
+
+    def adjacency_matrix(
+        self, dtype=np.float64, dense_limit: Optional[int] = DENSE_LIMIT_DEFAULT
+    ) -> np.ndarray:
+        """Dense symmetric adjacency matrix (only sensible for small graphs).
+
+        Refuses graphs above ``dense_limit`` nodes (default
+        :data:`DENSE_LIMIT_DEFAULT`) rather than silently allocating
+        gigabytes; pass a larger limit or ``None`` to override.
+        """
+        self._check_dense_limit("adjacency_matrix", dense_limit)
         adj = np.zeros((self.num_nodes, self.num_nodes), dtype=dtype)
         if self.num_edges:
-            u, v = self._edges[:, 0], self._edges[:, 1]
+            edges = self._storage.edges
+            u, v = edges[:, 0], edges[:, 1]
             adj[u, v] = 1
             adj[v, u] = 1
         return adj
 
-    def normalized_adjacency(self, add_self_loops: bool = True) -> np.ndarray:
-        """Symmetrically normalised adjacency ``D^{-1/2} (A + I) D^{-1/2}``."""
-        adj = self.adjacency_matrix()
+    def normalized_adjacency(
+        self,
+        add_self_loops: bool = True,
+        dense_limit: Optional[int] = DENSE_LIMIT_DEFAULT,
+    ) -> np.ndarray:
+        """Symmetrically normalised adjacency ``D^{-1/2} (A + I) D^{-1/2}``.
+
+        Subject to the same ``dense_limit`` guard as :meth:`adjacency_matrix`.
+        """
+        self._check_dense_limit("normalized_adjacency", dense_limit)
+        adj = self.adjacency_matrix(dense_limit=dense_limit)
         if add_self_loops:
             adj = adj + np.eye(self.num_nodes)
         deg = adj.sum(axis=1)
@@ -243,16 +306,17 @@ class Graph:
         nodes (so embeddings exist for every node) but only the training
         edges.
         """
+        edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         return Graph(
             self.num_nodes,
-            [(int(u), int(v)) for u, v in np.asarray(edges).reshape(-1, 2)],
-            labels=None if self.labels is None else self.labels.copy(),
+            edge_arr,
+            labels=None if self.labels is None else np.array(self.labels),
             name=name or f"{self.name}-sub",
         )
 
     def edge_set(self) -> Set[Tuple[int, int]]:
         """Set of ``(min(u,v), max(u,v))`` tuples for membership queries."""
-        return {(int(u), int(v)) for u, v in self._edges}
+        return {(int(u), int(v)) for u, v in self.edges}
 
     def connected_components(self) -> List[List[int]]:
         """Connected components via vectorized min-label propagation.
@@ -265,7 +329,8 @@ class Graph:
         scans start nodes in ascending order.
         """
         labels = np.arange(self.num_nodes, dtype=np.int64)
-        u, v = self._edges[:, 0], self._edges[:, 1]
+        edges = self.edges
+        u, v = edges[:, 0], edges[:, 1]
         while u.size:
             before = labels.copy()
             np.minimum.at(labels, u, labels[v])

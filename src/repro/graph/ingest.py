@@ -1,0 +1,444 @@
+"""External-sort ingest: build an on-disk graph in bounded RAM.
+
+:func:`build_disk_graph` turns an arbitrarily large edge source into the
+on-disk graph format of :mod:`repro.graph.storage` without ever holding the
+full edge list in memory.  Classic external sort, specialised to undirected
+edges:
+
+1. **Run generation** — edges stream in chunks; each chunk is validated,
+   canonicalised to ``(lo, hi)`` with ``lo < hi``, packed into one int64 key
+   ``(lo << 32) | hi`` (same lexicographic order as the in-RAM
+   canonicalisation's ``lo * n + hi`` keys, but computable before ``n`` is
+   known), radix-sorted, deduplicated, and written as a sorted *run* file of
+   raw little-endian int64s.
+2. **Merge** — runs are pairwise-merged (log₂ R rounds) in bounded-size
+   blocks, deduplicating across runs, until one sorted duplicate-free key
+   file remains.  Peak memory is O(chunk), independent of the edge count.
+3. **Materialise** — the final key stream is decoded into ``edges.npy``;
+   reverse arcs ``(hi << 32) | lo`` go through the same sort/merge to give
+   the ``src > dst`` half of the adjacency, and a last two-way merge of the
+   forward and reverse arc streams emits ``neighbours.npy`` in CSR order
+   while counting per-node degrees.  Only node-sized arrays (degrees,
+   offsets) are ever resident.
+
+Every array is digested as it is written; the manifest (``meta.json``,
+carrying the content fingerprint the experiment cache hashes into
+``cell_key``) is written last, so an interrupted ingest never looks like a
+finished graph.  The result is byte-identical to building the same edges
+with ``Graph.__init__`` and calling ``graph.save()`` — pinned by
+``tests/test_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.storage import (
+    ARRAY_FILES,
+    DEFAULT_CHUNK_EDGES,
+    GRAPH_FORMAT_VERSION,
+    META_FILENAME,
+    NpyStreamWriter,
+    PathLike,
+    content_fingerprint,
+)
+
+#: Ids must fit the 32-bit halves of the packed ``(lo << 32) | hi`` key.
+_MAX_ID = (1 << 31) - 1
+
+_KEY_MASK = np.int64((1 << 32) - 1)
+
+EdgeSource = Union[str, Path, np.ndarray, Iterable]
+
+
+class _RunFile:
+    """One sorted run of int64 keys as a raw little-endian binary file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+
+    @property
+    def num_keys(self) -> int:
+        return self.path.stat().st_size // 8
+
+    def read_blocks(self, block_keys: int) -> Iterator[np.ndarray]:
+        with open(self.path, "rb") as fp:
+            while True:
+                data = fp.read(block_keys * 8)
+                if not data:
+                    return
+                yield np.frombuffer(data, dtype="<i8")
+
+
+def _write_run(dir_path: Path, index: int, keys: np.ndarray) -> _RunFile:
+    path = dir_path / f"run-{index:06d}.bin"
+    with open(path, "wb") as fp:
+        fp.write(np.ascontiguousarray(keys, dtype="<i8").tobytes())
+    return _RunFile(path)
+
+
+def _dedup_sorted(keys: np.ndarray, last: Optional[int]) -> np.ndarray:
+    """Drop consecutive duplicates from sorted ``keys``; also drop a leading
+    run equal to ``last``, the final key already emitted upstream."""
+    if not keys.size:
+        return keys
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = last is None or keys[0] != last
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+def _merge_two(
+    a: _RunFile, b: _RunFile, out_path: Path, block_keys: int, dedup: bool
+) -> _RunFile:
+    """Merge two sorted runs into one, in O(block) memory.
+
+    Each step loads at most one block per input and flushes every key
+    ``<= min(last loaded of a, last loaded of b)`` — all keys below that
+    bound are known to be present, so the output is globally sorted.
+    """
+    gen_a = a.read_blocks(block_keys)
+    gen_b = b.read_blocks(block_keys)
+    buf_a = next(gen_a, None)
+    buf_b = next(gen_b, None)
+    last: Optional[int] = None
+    with open(out_path, "wb") as fp:
+
+        def emit(keys: np.ndarray) -> None:
+            nonlocal last
+            if dedup:
+                keys = _dedup_sorted(keys, last)
+            if keys.size:
+                fp.write(np.ascontiguousarray(keys, dtype="<i8").tobytes())
+                last = int(keys[-1])
+
+        while buf_a is not None and buf_b is not None:
+            bound = min(int(buf_a[-1]), int(buf_b[-1]))
+            take_a = int(np.searchsorted(buf_a, bound, side="right"))
+            take_b = int(np.searchsorted(buf_b, bound, side="right"))
+            emit(np.sort(np.concatenate([buf_a[:take_a], buf_b[:take_b]]), kind="stable"))
+            buf_a = buf_a[take_a:]
+            buf_b = buf_b[take_b:]
+            if not buf_a.size:
+                buf_a = next(gen_a, None)
+            if not buf_b.size:
+                buf_b = next(gen_b, None)
+        for tail, gen in ((buf_a, gen_a), (buf_b, gen_b)):
+            if tail is not None and tail.size:
+                emit(tail)
+            for block in gen:
+                emit(block)
+    a.path.unlink()
+    b.path.unlink()
+    return _RunFile(out_path)
+
+
+def _merge_runs(
+    runs: List[_RunFile], dir_path: Path, block_keys: int, dedup: bool, tag: str
+) -> Optional[_RunFile]:
+    """Pairwise-merge ``runs`` down to one (None for an empty edge set).
+
+    ``tag`` namespaces the intermediate files so independent merge phases
+    (forward keys, reverse arcs) can share one working directory.
+    """
+    if not runs:
+        return None
+    round_no = 0
+    while len(runs) > 1:
+        merged: List[_RunFile] = []
+        for i in range(0, len(runs) - 1, 2):
+            out = dir_path / f"{tag}-{round_no:03d}-{i // 2:06d}.bin"
+            merged.append(_merge_two(runs[i], runs[i + 1], out, block_keys, dedup))
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+        round_no += 1
+    return runs[0]
+
+
+def _iter_source_chunks(
+    edges: EdgeSource, chunk_edges: int
+) -> Tuple[Iterator[np.ndarray], Optional[int]]:
+    """Normalise an edge source to (chunk iterator, declared node hint).
+
+    Accepts a text edge-list path, a ``Graph``, a ``(k, 2)`` array, or any
+    iterable of ``(u, v)`` pairs / ``(k, 2)`` array chunks.
+    """
+    from repro.graph.graph import Graph
+
+    if isinstance(edges, (str, Path)):
+        from repro.graph.io import EdgeListFile
+
+        reader = EdgeListFile(edges)
+        # declared_nodes is discovered while the chunks are consumed; the
+        # caller re-reads the hint after iteration.
+        return reader.chunks(chunk_edges), reader
+    if isinstance(edges, Graph):
+        return edges.iter_edges(chunk_edges), edges.num_nodes
+    if isinstance(edges, np.ndarray):
+        arr = edges.astype(np.int64, copy=False).reshape(-1, 2)
+        return iter(
+            arr[s : s + chunk_edges] for s in range(0, arr.shape[0], chunk_edges)
+        ), None
+
+    def batches() -> Iterator[np.ndarray]:
+        buf: List = []
+        for item in edges:
+            arr = np.asarray(item, dtype=np.int64)
+            if arr.ndim == 2:  # already a chunk
+                if buf:
+                    yield np.array(buf, dtype=np.int64)
+                    buf = []
+                for s in range(0, arr.shape[0], chunk_edges):
+                    yield arr[s : s + chunk_edges]
+            else:
+                buf.append((int(arr[0]), int(arr[1])))
+                if len(buf) >= chunk_edges:
+                    yield np.array(buf, dtype=np.int64)
+                    buf = []
+        if buf:
+            yield np.array(buf, dtype=np.int64)
+
+    return batches(), None
+
+
+def _validate_chunk(
+    chunk: np.ndarray, num_nodes: Optional[int], self_loops: str
+) -> np.ndarray:
+    """Apply Graph.__init__'s edge validation to one chunk; returns the chunk
+    with self-loops dropped when ``self_loops="drop"``."""
+    if chunk.ndim != 2 or chunk.shape[1] != 2:
+        raise ValueError(f"edges must have shape (num_edges, 2), got {chunk.shape}")
+    if not chunk.shape[0]:
+        return chunk
+    loops = chunk[:, 0] == chunk[:, 1]
+    if loops.any():
+        if self_loops == "drop":
+            chunk = chunk[~loops]
+        else:
+            i = int(np.argmax(loops))
+            u = int(chunk[i, 0])
+            raise ValueError(f"self-loop ({u}, {u}) is not allowed")
+    if not chunk.shape[0]:
+        return chunk
+    high = num_nodes if num_nodes is not None else _MAX_ID + 1
+    out_of_range = ((chunk < 0) | (chunk >= high)).any(axis=1)
+    if out_of_range.any():
+        i = int(np.argmax(out_of_range))
+        u, v = int(chunk[i, 0]), int(chunk[i, 1])
+        if num_nodes is not None:
+            raise ValueError(
+                f"edge ({u}, {v}) references a node outside [0, {num_nodes})"
+            )
+        raise ValueError(
+            f"edge ({u}, {v}) has an id outside [0, {_MAX_ID}] "
+            f"(ids must fit the 32-bit packed-key ingest format)"
+        )
+    return chunk
+
+
+def build_disk_graph(
+    edges: EdgeSource,
+    out_dir: PathLike,
+    *,
+    num_nodes: Optional[int] = None,
+    labels: Optional[Sequence[int]] = None,
+    name: str = "graph",
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    self_loops: str = "error",
+    tmp_dir: Optional[PathLike] = None,
+    overwrite: bool = False,
+) -> Path:
+    """Build an on-disk graph directory from a streamed edge source.
+
+    Parameters
+    ----------
+    edges:
+        A text edge-list path, a :class:`~repro.graph.graph.Graph`, a
+        ``(k, 2)`` array, or any iterable of ``(u, v)`` pairs or array
+        chunks.  Duplicates (in either orientation) are collapsed exactly
+        as ``Graph.__init__`` collapses them.
+    out_dir:
+        Target directory for the on-disk format; created if missing.
+    num_nodes:
+        Node count.  Inferred as ``max id + 1`` (or taken from the edge
+        list's ``nodes=N`` header hint) when omitted.
+    labels:
+        Optional per-node int labels, length ``num_nodes``.
+    chunk_edges:
+        Edges per in-memory chunk — *the* RAM bound; everything else is
+        streamed through files.
+    self_loops:
+        ``"error"`` (default, matching ``Graph.__init__``) or ``"drop"``.
+    tmp_dir:
+        Where run files live during the sort (defaults to a fresh directory
+        alongside ``out_dir``); removed afterwards.
+    overwrite:
+        Replace an existing graph at ``out_dir`` instead of raising.
+
+    Returns the output directory; open it with ``Graph.open``.
+    """
+    if self_loops not in ("error", "drop"):
+        raise ValueError(f"self_loops must be 'error' or 'drop', got {self_loops!r}")
+    if chunk_edges <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_edges}")
+    if num_nodes is not None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_nodes > _MAX_ID + 1:
+            raise ValueError(
+                f"num_nodes={num_nodes} exceeds the 32-bit packed-key limit "
+                f"({_MAX_ID + 1})"
+            )
+    out_dir = Path(out_dir)
+    if (out_dir / META_FILENAME).exists() and not overwrite:
+        raise FileExistsError(
+            f"{out_dir} already holds an on-disk graph; pass overwrite=True "
+            f"to replace it"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    work = Path(tempfile.mkdtemp(prefix="repro-ingest-", dir=tmp_dir))
+    try:
+        return _build(
+            edges, out_dir, work, num_nodes, labels, name, chunk_edges, self_loops
+        )
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+def _build(
+    edges: EdgeSource,
+    out_dir: Path,
+    work: Path,
+    num_nodes: Optional[int],
+    labels: Optional[Sequence[int]],
+    name: str,
+    chunk_edges: int,
+    self_loops: str,
+) -> Path:
+    # ---- phase 1: sorted deduplicated runs of packed forward keys --------
+    chunk_iter, hint = _iter_source_chunks(edges, chunk_edges)
+    runs: List[_RunFile] = []
+    max_id = -1
+    for i, chunk in enumerate(chunk_iter):
+        chunk = _validate_chunk(
+            chunk.astype(np.int64, copy=False), num_nodes, self_loops
+        )
+        if not chunk.shape[0]:
+            continue
+        max_id = max(max_id, int(chunk.max()))
+        lo = np.minimum(chunk[:, 0], chunk[:, 1])
+        hi = np.maximum(chunk[:, 0], chunk[:, 1])
+        keys = np.sort((lo << np.int64(32)) | hi, kind="stable")
+        runs.append(_write_run(work, i, _dedup_sorted(keys, None)))
+
+    # The EdgeListFile hint only materialises once its chunks are consumed.
+    if hint is not None and not isinstance(hint, int):
+        hint = hint.declared_nodes
+    if num_nodes is None:
+        num_nodes = hint if hint is not None else (max_id + 1 if max_id >= 0 else 0)
+        if num_nodes <= 0:
+            raise ValueError("cannot infer num_nodes from an empty edge source")
+        if num_nodes > _MAX_ID + 1:
+            raise ValueError(
+                f"num_nodes={num_nodes} exceeds the 32-bit packed-key limit "
+                f"({_MAX_ID + 1})"
+            )
+        if max_id >= num_nodes:
+            raise ValueError(
+                f"edge references node {max_id} outside [0, {num_nodes})"
+            )
+
+    # ---- phase 2: merge to one duplicate-free sorted key file ------------
+    forward = _merge_runs(runs, work, chunk_edges, dedup=True, tag="fwd")
+    num_edges = forward.num_keys if forward is not None else 0
+
+    # ---- phase 3a: edges.npy directly from the sorted forward stream -----
+    with NpyStreamWriter(out_dir / ARRAY_FILES["edges"], (num_edges, 2)) as writer:
+        if forward is not None:
+            for block in forward.read_blocks(chunk_edges):
+                writer.write(
+                    np.column_stack([block >> np.int64(32), block & _KEY_MASK])
+                )
+    digests = {"edges": writer.digest}
+
+    # ---- phase 3b: reverse arcs (hi, lo), externally sorted --------------
+    rev_runs: List[_RunFile] = []
+    if forward is not None:
+        for i, block in enumerate(forward.read_blocks(chunk_edges)):
+            rev = ((block & _KEY_MASK) << np.int64(32)) | (block >> np.int64(32))
+            rev_runs.append(_write_run(work, 1_000_000 + i, np.sort(rev, kind="stable")))
+    # Reverse arcs of a duplicate-free undirected edge set are themselves
+    # unique, so this merge needs no dedup.
+    reverse = _merge_runs(rev_runs, work, chunk_edges, dedup=False, tag="rev")
+
+    # ---- phase 3c: neighbours + degrees from a final two-way merge -------
+    # Forward keys encode arcs with src < dst, reverse keys arcs with
+    # src > dst; their union is every directed arc, and the merged stream is
+    # exactly the radix-sorted arc order Graph._build_adjacency produces.
+    degrees = np.zeros(num_nodes, dtype=np.int64)
+    with NpyStreamWriter(
+        out_dir / ARRAY_FILES["csr_neighbours"], (2 * num_edges,)
+    ) as writer:
+        if forward is not None:
+            arcs = _merge_two(
+                forward, reverse, work / "arcs.bin", chunk_edges, dedup=False
+            )
+            for block in arcs.read_blocks(chunk_edges):
+                src = block >> np.int64(32)
+                writer.write(block & _KEY_MASK)
+                uniq, counts = np.unique(src, return_counts=True)
+                degrees[uniq] += counts
+    digests["csr_neighbours"] = writer.digest
+
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    if int(offsets[-1]) != 2 * num_edges:
+        raise AssertionError(
+            f"adjacency accounting is off: {int(offsets[-1])} arcs vs "
+            f"{2 * num_edges} expected"
+        )
+    with NpyStreamWriter(out_dir / ARRAY_FILES["degrees"], (num_nodes,)) as writer:
+        writer.write(degrees)
+    digests["degrees"] = writer.digest
+    with NpyStreamWriter(
+        out_dir / ARRAY_FILES["csr_offsets"], (num_nodes + 1,)
+    ) as writer:
+        writer.write(offsets)
+    digests["csr_offsets"] = writer.digest
+
+    if labels is not None:
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        if labels_arr.shape != (num_nodes,):
+            raise ValueError(
+                f"labels must have shape ({num_nodes},), got {labels_arr.shape}"
+            )
+        with NpyStreamWriter(
+            out_dir / ARRAY_FILES["labels"], (num_nodes,)
+        ) as writer:
+            writer.write(labels_arr)
+        digests["labels"] = writer.digest
+
+    # ---- manifest last: its presence marks a complete graph --------------
+    meta = {
+        "format_version": GRAPH_FORMAT_VERSION,
+        "num_nodes": int(num_nodes),
+        "num_edges": int(num_edges),
+        "name": str(name),
+        "arrays": {
+            role: {"file": ARRAY_FILES[role], "sha256": digest}
+            for role, digest in digests.items()
+        },
+        "fingerprint": content_fingerprint(num_nodes, num_edges, digests),
+    }
+    tmp = out_dir / (META_FILENAME + ".tmp")
+    tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, out_dir / META_FILENAME)
+    return out_dir

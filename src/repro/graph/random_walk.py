@@ -225,6 +225,7 @@ def iter_walk_pairs(
     shuffle: bool = True,
     rng: RngLike = None,
     workers: int = 1,
+    frontier_shard: int | None = None,
 ) -> Iterator[np.ndarray]:
     """Stream shuffled (centre, context) pair chunks, corpus never materialised.
 
@@ -254,7 +255,13 @@ def iter_walk_pairs(
     dtype = np.int32 if graph.num_nodes < 2**31 else np.int64
 
     passes = engine.iter_corpus_passes(
-        num_walks, walk_length, p=p, q=q, rng=rng, workers=workers
+        num_walks,
+        walk_length,
+        p=p,
+        q=q,
+        rng=rng,
+        workers=workers,
+        frontier_shard=frontier_shard,
     )
     for matrix in passes:
         for start in range(0, matrix.shape[0], chunk_walks):
@@ -291,6 +298,7 @@ class WalkPairChunkFactory:
     q: float = 1.0
     chunk_walks: int = _STREAM_CHUNK_WALKS
     workers: int = 1
+    frontier_shard: int | None = None
     rng: RngLike = field(default=None)
 
     def __call__(self) -> Iterator[np.ndarray]:
@@ -305,6 +313,7 @@ class WalkPairChunkFactory:
             chunk_walks=self.chunk_walks,
             rng=self.rng,
             workers=self.workers,
+            frontier_shard=self.frontier_shard,
         )
 
 

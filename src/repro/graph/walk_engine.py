@@ -61,6 +61,13 @@ def _pool_corpus_pass(args: Tuple[int, int, float, float]) -> np.ndarray:
     return _POOL_ENGINE.corpus_pass(seed, walk_length, p=p, q=q)
 
 
+def _pool_frontier_shard(args: Tuple[int, int, int, int, float, float]) -> np.ndarray:
+    seed, shard_index, frontier_shard, walk_length, p, q = args
+    return _POOL_ENGINE.frontier_shard_of_pass(
+        seed, shard_index, frontier_shard, walk_length, p=p, q=q
+    )
+
+
 @dataclass(frozen=True)
 class SecondOrderTable:
     """Precomputed node2vec transition table for one ``(p, q)`` setting.
@@ -142,6 +149,7 @@ class WalkEngine:
         q: float = 1.0,
         rng: RngLike = None,
         workers: int = 1,
+        frontier_shard: Optional[int] = None,
     ) -> np.ndarray:
         """DeepWalk/node2vec-style corpus: ``num_walks`` shuffled passes.
 
@@ -155,9 +163,22 @@ class WalkEngine:
         same :meth:`corpus_pass` schedule serially; it differs from the
         ``workers=1`` corpus, whose passes share one sequential stream (kept
         bit-for-bit for backwards reproducibility).
+
+        ``frontier_shard`` additionally splits *each pass's* start-node
+        frontier into contiguous shards of that many nodes, each walked with
+        a pre-derived RNG stream — the unit the pool distributes when one
+        pass is itself too large for a single process.  Any ``frontier_shard``
+        run (any worker count, including 1) uses the derived-seed discipline
+        and is bit-identical for every worker count.
         """
         passes = self.iter_corpus_passes(
-            num_walks, walk_length, p=p, q=q, rng=rng, workers=workers
+            num_walks,
+            walk_length,
+            p=p,
+            q=q,
+            rng=rng,
+            workers=workers,
+            frontier_shard=frontier_shard,
         )
         return np.vstack(list(passes))
 
@@ -169,6 +190,7 @@ class WalkEngine:
         q: float = 1.0,
         rng: RngLike = None,
         workers: int = 1,
+        frontier_shard: Optional[int] = None,
     ):
         """Yield the ``walk_corpus`` passes one matrix at a time.
 
@@ -182,7 +204,15 @@ class WalkEngine:
         """
         if num_walks <= 0:
             raise ValueError(f"num_walks must be positive, got {num_walks}")
+        if frontier_shard is not None and frontier_shard <= 0:
+            raise ValueError(
+                f"frontier_shard must be positive, got {frontier_shard}"
+            )
         rng = ensure_rng(rng)
+        if frontier_shard is not None:
+            return self._frontier_sharded_passes(
+                num_walks, walk_length, p, q, rng, workers, frontier_shard
+            )
         if workers > 1:
             return self._pooled_passes(num_walks, walk_length, p, q, rng, workers)
         return self._stream_passes(num_walks, walk_length, p, q, rng)
@@ -231,6 +261,114 @@ class WalkEngine:
         nodes = np.arange(self.graph.num_nodes)
         rng.shuffle(nodes)
         return self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+
+    # ------------------------------------------------------------------
+    # in-pass frontier sharding
+    # ------------------------------------------------------------------
+    def num_frontier_shards(self, frontier_shard: int) -> int:
+        """Shards one pass splits into: ``ceil(num_nodes / frontier_shard)``."""
+        return -(-self.graph.num_nodes // int(frontier_shard))
+
+    def _frontier_plan(
+        self, seed: int, frontier_shard: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The deterministic layout of one sharded pass.
+
+        One generator seeded with the pass seed first shuffles the frontier,
+        then derives one seed per contiguous shard — all *before* any walking,
+        so the plan (and hence the pass) is a pure function of
+        ``(seed, num_nodes, frontier_shard)``, independent of how many
+        workers execute the shards or in what order they finish.
+        """
+        rng = np.random.default_rng(int(seed))
+        nodes = np.arange(self.graph.num_nodes)
+        rng.shuffle(nodes)
+        shard_seeds = derive_pass_seeds(rng, self.num_frontier_shards(frontier_shard))
+        return nodes, shard_seeds
+
+    def frontier_shard_of_pass(
+        self,
+        seed: int,
+        shard_index: int,
+        frontier_shard: int,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+    ) -> np.ndarray:
+        """Walk one shard of one sharded pass (the pool's unit of work).
+
+        Re-derives the pass plan from the seed — an O(num_nodes) shuffle per
+        task, deliberately redundant: it keeps the task payload O(bytes)
+        instead of shipping the permutation, and the shuffle is trivially
+        cheap next to walking ``frontier_shard`` nodes for ``walk_length``
+        steps.
+        """
+        nodes, shard_seeds = self._frontier_plan(seed, frontier_shard)
+        if not 0 <= shard_index < shard_seeds.size:
+            raise ValueError(
+                f"shard_index {shard_index} out of range [0, {shard_seeds.size})"
+            )
+        start = shard_index * int(frontier_shard)
+        starts = nodes[start : start + int(frontier_shard)]
+        shard_rng = np.random.default_rng(int(shard_seeds[shard_index]))
+        return self.node2vec_walks(starts, walk_length, p=p, q=q, rng=shard_rng)
+
+    def frontier_sharded_pass(
+        self,
+        seed: int,
+        walk_length: int,
+        p: float = 1.0,
+        q: float = 1.0,
+        frontier_shard: int = 1024,
+    ) -> np.ndarray:
+        """One sharded pass executed serially: the parity reference.
+
+        Stacking every :meth:`frontier_shard_of_pass` in shard order is, by
+        construction, what the pooled path produces for any worker count.
+        """
+        nodes, shard_seeds = self._frontier_plan(seed, frontier_shard)
+        size = int(frontier_shard)
+        return np.vstack(
+            [
+                self.node2vec_walks(
+                    nodes[i * size : (i + 1) * size],
+                    walk_length,
+                    p=p,
+                    q=q,
+                    rng=np.random.default_rng(int(shard_seeds[i])),
+                )
+                for i in range(shard_seeds.size)
+            ]
+        )
+
+    def _frontier_sharded_passes(
+        self, num_walks, walk_length, p, q, rng, workers, frontier_shard
+    ):
+        """Derived-seed sharded passes, serial or pooled — same bytes either way."""
+        seeds = derive_pass_seeds(rng, num_walks)
+        if workers <= 1:
+            for seed in seeds:
+                yield self.frontier_sharded_pass(
+                    int(seed), walk_length, p=p, q=q, frontier_shard=frontier_shard
+                )
+            return
+        num_shards = self.num_frontier_shards(frontier_shard)
+        with ProcessPoolExecutor(
+            max_workers=min(int(workers), num_shards),
+            initializer=_init_pool_engine,
+            initargs=(self.graph,),
+        ) as pool:
+            for seed in seeds:
+                futures = [
+                    pool.submit(
+                        _pool_frontier_shard,
+                        (int(seed), i, int(frontier_shard), walk_length, p, q),
+                    )
+                    for i in range(num_shards)
+                ]
+                # Collect in shard order: the stacked pass is then identical
+                # to the serial reference regardless of completion order.
+                yield np.vstack([f.result() for f in futures])
 
     # ------------------------------------------------------------------
     # node2vec (second-order) walks

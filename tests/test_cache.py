@@ -171,6 +171,45 @@ class TestCellKey:
         assert cell_key(labelled) != cell_key(tiny_cell())
 
 
+class TestGraphPlacementKeys:
+    """Graph placement is canonicalised like compute placement.
+
+    ``on_disk`` moves bit-identical arrays to mmap buffers (parity is pinned
+    in tests/test_storage.py), so it must never split the cache; a
+    ``graph_path`` resolves to the referenced graph's *content* fingerprint,
+    so two different graphs filed under the same dataset name can never
+    alias — and moving a graph directory never invalidates its entries.
+    """
+
+    def test_on_disk_flag_does_not_change_the_key(self):
+        assert cell_key(tiny_cell(on_disk=True)) == cell_key(tiny_cell())
+        assert "on_disk" not in canonical_cell_dict(tiny_cell(on_disk=True))
+
+    def test_same_name_different_graphs_never_alias(self, tmp_path):
+        from repro.graph.datasets import load_dataset
+
+        for sub, scale in (("a", 0.1), ("b", 0.12)):
+            load_dataset("ppi", scale=scale).save(tmp_path / sub)
+        cell_a = tiny_cell(graph_path=str(tmp_path / "a"))
+        cell_b = tiny_cell(graph_path=str(tmp_path / "b"))
+        assert cell_a.dataset == cell_b.dataset == "ppi"
+        assert cell_key(cell_a) != cell_key(cell_b)
+
+    def test_graph_path_hashes_by_content_not_location(self, tmp_path):
+        import shutil
+
+        from repro.graph.datasets import load_dataset
+
+        load_dataset("ppi", scale=0.1).save(tmp_path / "a")
+        shutil.copytree(tmp_path / "a", tmp_path / "moved")
+        assert cell_key(tiny_cell(graph_path=str(tmp_path / "a"))) == cell_key(
+            tiny_cell(graph_path=str(tmp_path / "moved"))
+        )
+        canon = canonical_cell_dict(tiny_cell(graph_path=str(tmp_path / "a")))
+        assert "graph_path" not in canon
+        assert len(canon["graph_fingerprint"]) == 64
+
+
 class TestRoundTripDeterminism:
     def test_to_dict_sorted_and_plain(self):
         cell = tiny_cell(

@@ -92,6 +92,23 @@ class TestGraphMatrices:
         norm = triangle_graph.normalized_adjacency(add_self_loops=False)
         assert np.allclose(np.diag(norm), 0.0)
 
+    def test_dense_limit_guard(self, triangle_graph):
+        with pytest.raises(ValueError, match="dense_limit"):
+            triangle_graph.adjacency_matrix(dense_limit=3)
+        with pytest.raises(ValueError, match="dense_limit"):
+            triangle_graph.normalized_adjacency(dense_limit=3)
+
+    def test_dense_limit_override(self, triangle_graph):
+        # Raising the limit (or disabling it with None) restores the matrix.
+        adj = triangle_graph.adjacency_matrix(dense_limit=None)
+        assert adj.shape == (4, 4)
+        norm = triangle_graph.normalized_adjacency(dense_limit=4)
+        assert norm.shape == (4, 4)
+
+    def test_dense_limit_message_names_method_and_size(self, triangle_graph):
+        with pytest.raises(ValueError, match=r"adjacency_matrix .*4x4"):
+            triangle_graph.adjacency_matrix(dense_limit=2)
+
 
 class TestGraphTransforms:
     def test_subgraph_with_edges(self, triangle_graph):
