@@ -1,11 +1,18 @@
-"""Benchmark the compute backends: numpy vs torch-cpu fit throughput.
+"""Benchmark the compute backends: numpy vs torch fit throughput, per precision.
 
 Trains the LINE-style skip-gram (``sgm``) on the 50k-node benchmark graph
-once per available backend (same seed, so both run the identical sampling
-schedule) and records graph-build and fit wall-clock plus the pair-update
-throughput.  The torch rows are skipped — and recorded as unavailable — when
-torch is not installed, which keeps the benchmark itself torch-free on the
-default CI job.
+once per available (backend, precision) combination — ``exact`` float64
+everywhere, plus the ``fast`` float32 device-resident path on accelerator
+backends — and records graph-build and fit wall-clock plus the pair-update
+throughput.  All runs share one seed so the exact rows execute the identical
+sampling schedule.  The torch rows are skipped — and recorded as
+unavailable — when torch is not installed, which keeps the benchmark itself
+torch-free on the default CI job.
+
+``pair_updates`` is derived from the sampler's *actual* per-batch take
+(:attr:`~repro.graph.sampling.EdgeSampler.positive_batch_size`, which clamps
+the configured batch size to ``|E|``), not from the requested batch size, so
+the throughput number never overstates the work done on small graphs.
 
 Usage::
 
@@ -18,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
 import time
 from pathlib import Path
 
@@ -36,14 +44,22 @@ def build_graph(num_nodes: int, num_edges: int) -> Graph:
     return Graph(num_nodes, edges, name="bench-backend")
 
 
-def bench_one(backend: str, graph: Graph, args: argparse.Namespace) -> dict:
-    """Fit sgm on ``graph`` under ``backend``; returns the timing row."""
+def max_rss_mb() -> float:
+    """Process-lifetime peak RSS in MiB (a high-water mark, never decreasing)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def bench_one(
+    backend: str, precision: str, graph: Graph, args: argparse.Namespace
+) -> dict:
+    """Fit sgm on ``graph`` under ``backend``/``precision``; the timing row."""
     fit_start = time.perf_counter()
     model = make_model(
         "sgm",
         graph=graph,
         rng=2025,
         backend=backend,
+        precision=precision,
         embedding_dim=args.dim,
         num_epochs=args.epochs,
         batches_per_epoch=args.batches_per_epoch,
@@ -51,15 +67,22 @@ def bench_one(backend: str, graph: Graph, args: argparse.Namespace) -> dict:
         num_negatives=args.negatives,
     ).fit()
     fit_seconds = time.perf_counter() - fit_start
+    # The sampler clamps each batch's positive take to |E|; charge the
+    # throughput with the pairs actually processed, not the request.
     pair_updates = (
-        args.epochs * args.batches_per_epoch * args.batch_size * (1 + args.negatives)
+        args.epochs
+        * args.batches_per_epoch
+        * model.sampler.positive_batch_size
+        * (1 + args.negatives)
     )
     emb = model.embeddings_
     return {
-        "backend": canonical_backend_spec(backend),
+        "backend": canonical_backend_spec(backend, precision=precision),
+        "precision": precision,
         "fit_seconds": fit_seconds,
         "pair_updates": pair_updates,
         "pair_updates_per_second": pair_updates / max(1e-9, fit_seconds),
+        "max_rss_mb": max_rss_mb(),
         "embedding_checksum": float(np.linalg.norm(emb)),
     }
 
@@ -76,6 +99,10 @@ def main() -> None:
     parser.add_argument("--backends", nargs="+", default=["numpy", "torch"],
                         help="backend specs to benchmark (unavailable ones "
                              "are recorded and skipped)")
+    parser.add_argument("--precisions", nargs="+", default=["exact", "fast"],
+                        help="precision modes to benchmark per backend "
+                             "(numpy only supports exact; fast rows on it "
+                             "are skipped)")
     parser.add_argument("--quick", action="store_true",
                         help="tiny workload for CI smoke runs")
     parser.add_argument(
@@ -100,21 +127,45 @@ def main() -> None:
         reason = backend_unavailable_reason(family)
         if reason is not None:
             skipped[backend] = reason
-            print(f"  {backend:<12} skipped ({reason})")
+            print(f"  {backend:<16} skipped ({reason})")
             continue
-        row = bench_one(backend, graph, args)
-        results[row["backend"]] = row
-        print(f"  {row['backend']:<12} fit {row['fit_seconds']:7.2f}s  "
-              f"{row['pair_updates_per_second']:>12,.0f} pair updates/s")
+        for precision in args.precisions:
+            if family == "numpy" and precision != "exact":
+                skipped[f"{backend}:{precision}"] = (
+                    "numpy is the exact reference; it has no fast path"
+                )
+                continue
+            row = bench_one(backend, precision, graph, args)
+            results[row["backend"]] = row
+            print(f"  {row['backend']:<16} fit {row['fit_seconds']:7.2f}s  "
+                  f"{row['pair_updates_per_second']:>12,.0f} pair updates/s  "
+                  f"(peak rss {row['max_rss_mb']:,.0f} MiB)")
 
     comparison = {}
-    if "numpy" in results and any(k.startswith("torch") for k in results):
-        torch_key = next(k for k in results if k.startswith("torch"))
+    exact_torch = next(
+        (k for k, r in results.items()
+         if k.startswith("torch") and r["precision"] == "exact"),
+        None,
+    )
+    fast_torch = next(
+        (k for k, r in results.items()
+         if k.startswith("torch") and r["precision"] == "fast"),
+        None,
+    )
+    if "numpy" in results and exact_torch is not None:
         comparison["torch_vs_numpy_fit_ratio"] = (
-            results[torch_key]["fit_seconds"] / max(1e-9, results["numpy"]["fit_seconds"])
+            results[exact_torch]["fit_seconds"]
+            / max(1e-9, results["numpy"]["fit_seconds"])
         )
         print(f"  torch/numpy fit-time ratio: "
               f"{comparison['torch_vs_numpy_fit_ratio']:.2f}x")
+    if exact_torch is not None and fast_torch is not None:
+        comparison["fast_vs_exact_speedup"] = (
+            results[exact_torch]["fit_seconds"]
+            / max(1e-9, results[fast_torch]["fit_seconds"])
+        )
+        print(f"  fast-vs-exact speedup (torch): "
+              f"{comparison['fast_vs_exact_speedup']:.2f}x")
 
     payload = {
         "benchmark": "backend",

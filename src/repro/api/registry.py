@@ -182,6 +182,7 @@ def make_model(
     rng: RngLike = None,
     backend: Optional[str] = None,
     device: Optional[str] = None,
+    precision: Optional[str] = None,
     **overrides: Any,
 ):
     """Construct a registered estimator by name.
@@ -199,10 +200,12 @@ def make_model(
         unbound — pass the graph to ``fit(graph)`` instead.
     rng:
         Seed or generator forwarded to the model.
-    backend / device:
-        Compute backend request, shorthand for the ``backend``/``device``
-        config fields every registered model carries (``"numpy"`` default,
-        ``"torch"``/``"torch:cuda"`` optional — see :mod:`repro.backend`).
+    backend / device / precision:
+        Compute backend request, shorthand for the ``backend`` / ``device``
+        / ``precision`` config fields every registered model carries
+        (``"numpy"`` default, ``"torch"``/``"torch:cuda"`` optional;
+        precision ``"exact"`` default or ``"fast"`` for the float32
+        device-resident path — see :mod:`repro.backend`).
     **overrides:
         Config dataclass fields to override (validated against the model's
         config class so typos fail fast).
@@ -216,6 +219,8 @@ def make_model(
         overrides = {**overrides, "backend": str(backend)}
     if device is not None:
         overrides = {**overrides, "device": str(device)}
+    if precision is not None:
+        overrides = {**overrides, "precision": str(precision)}
     field_names = {f.name for f in dataclasses.fields(entry.config_cls)}
     unknown = set(overrides) - field_names
     if unknown:

@@ -140,6 +140,7 @@ class ExperimentCell:
     test_fraction: float = 0.1
     backend: Optional[str] = None
     device: Optional[str] = None
+    precision: Optional[str] = None
     on_disk: bool = False
     graph_path: Optional[str] = None
 
@@ -165,6 +166,8 @@ class ExperimentCell:
             object.__setattr__(self, "backend", str(self.backend))
         if self.device is not None:
             object.__setattr__(self, "device", str(self.device))
+        if self.precision is not None:
+            object.__setattr__(self, "precision", str(self.precision))
         object.__setattr__(self, "on_disk", bool(self.on_disk))
         if self.graph_path is not None:
             object.__setattr__(self, "graph_path", str(self.graph_path))
@@ -174,7 +177,7 @@ class ExperimentCell:
         data = {f: getattr(self, f) for f in (
             "task", "dataset", "epsilon", "repeat", "seed",
             "dataset_scale", "dataset_seed", "test_fraction",
-            "backend", "device", "on_disk", "graph_path",
+            "backend", "device", "precision", "on_disk", "graph_path",
         )}
         data["model"] = self.model.to_dict()
         return data
@@ -212,12 +215,13 @@ class ExperimentSpec:
         ``base_seed`` (the historical runners' convention).
     test_fraction:
         Held-out edge fraction for link prediction.
-    backend / device:
+    backend / device / precision:
         Compute backend every cell of the grid trains on (``None`` defers to
         each model's config and then the ambient default — see
-        :mod:`repro.backend`).  Carried per cell so a worker process, or a
-        remote runner reading the cell from a cache manifest, reproduces the
-        same placement.
+        :mod:`repro.backend`), its device, and its precision mode
+        (``"exact"`` / ``"fast"``).  Carried per cell so a worker process,
+        or a remote runner reading the cell from a cache manifest,
+        reproduces the same placement and arithmetic.
     on_disk:
         Load every dataset as a memory-mapped on-disk graph
         (``load_dataset(..., on_disk=True)``) instead of in RAM.  The arrays
@@ -240,6 +244,7 @@ class ExperimentSpec:
     test_fraction: float = 0.1
     backend: Optional[str] = None
     device: Optional[str] = None
+    precision: Optional[str] = None
     on_disk: bool = False
     graph_path: Optional[str] = None
 
@@ -273,6 +278,8 @@ class ExperimentSpec:
             object.__setattr__(self, "backend", str(self.backend))
         if self.device is not None:
             object.__setattr__(self, "device", str(self.device))
+        if self.precision is not None:
+            object.__setattr__(self, "precision", str(self.precision))
         object.__setattr__(self, "on_disk", bool(self.on_disk))
         if self.graph_path is not None:
             object.__setattr__(self, "graph_path", str(self.graph_path))
@@ -306,6 +313,7 @@ class ExperimentSpec:
                                 test_fraction=self.test_fraction,
                                 backend=self.backend,
                                 device=self.device,
+                                precision=self.precision,
                                 on_disk=self.on_disk,
                                 graph_path=self.graph_path,
                             )
@@ -331,6 +339,7 @@ class ExperimentSpec:
             "test_fraction": self.test_fraction,
             "backend": self.backend,
             "device": self.device,
+            "precision": self.precision,
             "on_disk": self.on_disk,
             "graph_path": self.graph_path,
         }

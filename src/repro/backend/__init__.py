@@ -4,11 +4,18 @@ The models never import numpy-vs-torch directly; they ask this module for a
 :class:`Backend` and route their tensor math through it.  Selection
 precedence, everywhere a backend can be named:
 
-1. an explicit argument (CLI ``--backend`` / ``--device``, a config field,
-   a ``Backend`` instance passed through the API),
-2. the ``REPRO_BACKEND`` environment variable (``"torch"`` or
-   ``"torch:cuda"`` forms accepted),
+1. an explicit argument (CLI ``--backend`` / ``--device`` / ``--precision``,
+   a config field, a ``Backend`` instance passed through the API),
+2. the ``REPRO_BACKEND`` environment variable (``"torch"``, ``"torch:cuda"``
+   or ``"torch:cuda:fast"`` forms accepted),
 3. the numpy default.
+
+A spec string is ``name[:device][:precision]``: the optional trailing token
+``exact`` / ``fast`` names the precision mode (``"torch:cuda:0:fast"`` is a
+fast backend on device ``cuda:0``), and everything between the family name
+and it is the device.  ``exact`` is the default and is canonicalised away,
+so precision-less specs keep the exact cache keys they had before the
+precision seam existed.
 
 ``torch`` is import-gated: ``import repro`` never touches it, and only an
 explicit request for the torch backend can raise — with a one-line
@@ -16,8 +23,9 @@ explicit request for the torch backend can raise — with a one-line
 
 Backend identity matters beyond dispatch: the experiment cache hashes
 :func:`canonical_backend_spec` into every cell key so a torch run can never
-be served a numpy row (or vice versa).  That function is pure string work —
-it must stay total on machines where the named backend is not installed.
+be served a numpy row (or vice versa), and a ``fast`` run can never be
+served an ``exact`` row.  That function is pure string work — it must stay
+total on machines where the named backend is not installed.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.backend.base import Array, Backend
+from repro.backend.base import PRECISIONS, Array, Backend
 from repro.backend.numpy_backend import NumpyBackend
 
 #: Environment variable consulted when no explicit backend is named.
@@ -39,15 +47,20 @@ class BackendError(ValueError):
     """Unknown backend name, unavailable backend, or unsupported device."""
 
 
-def _make_numpy(device: Optional[str]) -> Backend:
+def _make_numpy(device: Optional[str], precision: Optional[str]) -> Backend:
     if device not in (None, "cpu"):
         raise BackendError(
             f"backend 'numpy' does not support device {device!r} (only 'cpu')"
         )
+    if precision not in (None, "exact"):
+        raise BackendError(
+            f"backend 'numpy' does not support precision {precision!r} (it is "
+            "the exact reference; use backend 'torch' for the fast path)"
+        )
     return NUMPY_BACKEND
 
 
-def _make_torch(device: Optional[str]) -> Backend:
+def _make_torch(device: Optional[str], precision: Optional[str]) -> Backend:
     try:
         import torch  # noqa: F401
     except ImportError:
@@ -58,27 +71,30 @@ def _make_torch(device: Optional[str]) -> Backend:
     from repro.backend.torch_backend import TorchBackend
 
     try:
-        return TorchBackend(device)
+        return TorchBackend(device, precision=precision)
     except ValueError as exc:
         raise BackendError(f"backend 'torch': {exc}") from exc
 
 
-#: Backend family name -> factory taking the (optional) device string.
-_FACTORIES: Dict[str, Callable[[Optional[str]], Backend]] = {
+#: Backend family name -> factory taking the (optional) device and precision.
+_FACTORIES: Dict[str, Callable[[Optional[str], Optional[str]], Backend]] = {
     "numpy": _make_numpy,
     "torch": _make_torch,
 }
 
 #: Instance cache so repeated resolution of one spec reuses the backend.
-_INSTANCES: Dict[Tuple[str, Optional[str]], Backend] = {}
+_INSTANCES: Dict[Tuple[str, Optional[str], Optional[str]], Backend] = {}
 
 
-def register_backend(name: str, factory: Callable[[Optional[str]], Backend]) -> None:
+def register_backend(
+    name: str, factory: Callable[[Optional[str], Optional[str]], Backend]
+) -> None:
     """Register a third-party backend factory under ``name``.
 
-    The factory receives the requested device string (or ``None``) and must
-    return a :class:`Backend`; raising :class:`BackendError` is the correct
-    way to report unavailability.
+    The factory receives the requested device string and precision mode
+    (each possibly ``None``) and must return a :class:`Backend`; raising
+    :class:`BackendError` is the correct way to report unavailability or an
+    unsupported precision.
     """
     key = name.lower()
     if key in _FACTORIES:
@@ -110,10 +126,26 @@ def backend_unavailable_reason(name: str) -> Optional[str]:
     return None
 
 
-def _split_spec(spec: str) -> Tuple[str, Optional[str]]:
-    """Split ``"torch:cuda:0"`` into ``("torch", "cuda:0")``."""
-    name, sep, device = spec.partition(":")
-    return name.lower(), (device if sep else None)
+def _split_spec(spec: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Split a spec string into ``(name, device, precision)``.
+
+    The precision token is peeled off the *end* (devices may themselves
+    contain colons): ``"torch:cuda:0:fast"`` -> ``("torch", "cuda:0",
+    "fast")``, ``"torch:cuda:1"`` -> ``("torch", "cuda:1", None)``,
+    ``"numpy"`` -> ``("numpy", None, None)``.
+    """
+    name, sep, rest = spec.partition(":")
+    device = rest if sep else None
+    precision = None
+    if device is not None:
+        head, _, tail = device.rpartition(":")
+        if tail in PRECISIONS:
+            precision = tail
+            device = head or None
+        elif device in PRECISIONS:
+            precision = device
+            device = None
+    return name.lower(), device, precision
 
 
 def default_backend_spec() -> str:
@@ -121,25 +153,64 @@ def default_backend_spec() -> str:
     return os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
 
 
+def _resolve_request(
+    spec: Optional[str], device: Optional[str], precision: Optional[str]
+) -> Tuple[str, Optional[str], Optional[str]]:
+    """Merge a spec string with explicit device/precision arguments.
+
+    Conflicts (spec embeds one value, the argument names another) are
+    errors; agreement and one-sided requests resolve normally.
+    """
+    name, spec_device, spec_precision = _split_spec(
+        spec if spec else default_backend_spec()
+    )
+    if spec_device is not None and device is not None and spec_device != device:
+        raise BackendError(
+            f"conflicting devices: spec {spec!r} names {spec_device!r} but "
+            f"device={device!r} was also passed"
+        )
+    if (
+        spec_precision is not None
+        and precision is not None
+        and spec_precision != precision
+    ):
+        raise BackendError(
+            f"conflicting precisions: spec {spec!r} names {spec_precision!r} "
+            f"but precision={precision!r} was also passed"
+        )
+    device = device if device is not None else spec_device
+    precision = precision if precision is not None else spec_precision
+    if precision is not None and precision not in PRECISIONS:
+        raise BackendError(
+            f"unknown precision {precision!r} (expected one of {PRECISIONS})"
+        )
+    return name, device, precision
+
+
 def get_backend(
-    spec: Union[str, Backend, None] = None, device: Optional[str] = None
+    spec: Union[str, Backend, None] = None,
+    device: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> Backend:
     """Resolve a backend request to a live :class:`Backend` instance.
 
     Parameters
     ----------
     spec:
-        A :class:`Backend` instance (passed through), a ``"name"`` or
-        ``"name:device"`` string, or ``None`` to fall back to
-        ``$REPRO_BACKEND`` and then numpy.
+        A :class:`Backend` instance (passed through), a ``"name"``,
+        ``"name:device"`` or ``"name:device:precision"`` string, or ``None``
+        to fall back to ``$REPRO_BACKEND`` and then numpy.
     device:
         Device override; conflicts with a device embedded in ``spec``.
+    precision:
+        Precision override (``"exact"`` / ``"fast"``); conflicts with a
+        precision embedded in ``spec``.
 
     Raises
     ------
     BackendError
-        Unknown name, backend not installed, or unsupported device — always
-        with a one-line, actionable message.
+        Unknown name, backend not installed, unsupported device or
+        precision — always with a one-line, actionable message.
     """
     if isinstance(spec, Backend):
         if device is not None and device != spec.device:
@@ -147,46 +218,55 @@ def get_backend(
                 f"backend instance is on device {spec.device!r} but device "
                 f"{device!r} was requested; construct a new backend instead"
             )
+        if precision is not None and precision != spec.precision:
+            raise BackendError(
+                f"backend instance has precision {spec.precision!r} but "
+                f"precision {precision!r} was requested; construct a new "
+                "backend instead"
+            )
         return spec
-    name, spec_device = _split_spec(spec if spec else default_backend_spec())
-    if spec_device is not None and device is not None and spec_device != device:
-        raise BackendError(
-            f"conflicting devices: spec {spec!r} names {spec_device!r} but "
-            f"device={device!r} was also passed"
-        )
-    device = device if device is not None else spec_device
+    name, device, precision = _resolve_request(spec, device, precision)
     factory = _FACTORIES.get(name)
     if factory is None:
         raise BackendError(
             f"unknown backend {name!r}; registered: {', '.join(list_backends())}"
         )
-    cache_key = (name, device)
+    cache_key = (name, device, precision)
     instance = _INSTANCES.get(cache_key)
     if instance is None:
-        instance = factory(device)
+        instance = factory(device, precision)
         _INSTANCES[cache_key] = instance
     return instance
 
 
 def canonical_backend_spec(
-    spec: Union[str, Backend, None] = None, device: Optional[str] = None
+    spec: Union[str, Backend, None] = None,
+    device: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> str:
-    """The canonical identity string a (spec, device) request resolves to.
+    """The canonical identity string a (spec, device, precision) request
+    resolves to.
 
     Pure string normalisation — never imports or constructs the backend —
     so cache-key computation stays total even for backends that are not
     installed in this process (mirroring how unknown model names are
     tolerated by :func:`repro.api.registry.canonical_name`).  ``"numpy"``
     stays bare; other families get an explicit device suffix with ``cpu``
-    as the default (``"torch"`` -> ``"torch:cpu"``).
+    as the default (``"torch"`` -> ``"torch:cpu"``).  The default
+    ``"exact"`` precision is canonicalised away (pre-precision cache keys
+    are preserved); ``"fast"`` becomes a trailing token
+    (``"torch:cuda:fast"``) so fast and exact cells never share a key.
     """
     if isinstance(spec, Backend):
         return spec.spec
-    name, spec_device = _split_spec(spec if spec else default_backend_spec())
-    device = device if device is not None else spec_device
+    name, device, precision = _resolve_request(spec, device, precision)
     if name == "numpy":
-        return "numpy"
-    return f"{name}:{device if device else 'cpu'}"
+        base = "numpy"
+    else:
+        base = f"{name}:{device if device else 'cpu'}"
+    if precision in (None, "exact"):
+        return base
+    return f"{base}:{precision}"
 
 
 __all__ = [
@@ -196,6 +276,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "NUMPY_BACKEND",
     "NumpyBackend",
+    "PRECISIONS",
     "backend_available",
     "backend_unavailable_reason",
     "canonical_backend_spec",

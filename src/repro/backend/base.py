@@ -22,12 +22,24 @@ or torch).  The contract that keeps the reproduction honest:
 
 Only the operations the seven models actually use are part of the protocol —
 this is an array-ops seam, not an autograd framework.
+
+**Precision modes.**  Every backend runs in one of two precisions:
+
+* ``"exact"`` (the default) — float64, randomness on numpy streams, results
+  held to the numpy reference at tight rtol (numpy itself: bit-for-bit,
+  pinned by the golden digests).
+* ``"fast"`` — float32 device-resident parameters and, where a backend
+  provides one, a fused :meth:`Backend.skipgram_step` hot path with
+  device-side negative draws.  Fast mode answers to the *statistical*
+  parity suite (final task metrics within tolerance), never to byte or
+  tight-rtol comparisons, and canonicalises to a distinct ``spec`` so its
+  results can never alias an exact run in the experiment cache.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +47,9 @@ import numpy as np
 #: ``torch.Tensor`` for TorchBackend; typed as ``Any`` because the whole
 #: point of the seam is that model code never names the concrete type.
 Array = Any
+
+#: The precision modes a backend spec may name.
+PRECISIONS = ("exact", "fast")
 
 
 class Backend(ABC):
@@ -49,15 +64,24 @@ class Backend(ABC):
         """Device the backend computes on (``"cpu"``, ``"cuda"``, ...)."""
 
     @property
+    def precision(self) -> str:
+        """Precision mode, one of :data:`PRECISIONS` (``"exact"`` default)."""
+        return "exact"
+
+    @property
     def spec(self) -> str:
-        """Canonical ``name[:device]`` identity string.
+        """Canonical ``name[:device][:precision]`` identity string.
 
         This is what the experiment cache hashes into each cell key, so two
         backends whose results may differ must never share a spec.  The CPU
         numpy backend is simply ``"numpy"``; accelerator backends append
-        their device (``"torch:cpu"``, ``"torch:cuda"``).
+        their device (``"torch:cpu"``, ``"torch:cuda"``).  The default
+        ``"exact"`` precision is canonicalised away (specs predating the
+        precision seam keep their cache keys); ``"fast"`` is appended
+        (``"torch:cuda:fast"``) so fast cells never alias exact ones.
         """
-        return self.name if self.name == "numpy" else f"{self.name}:{self.device}"
+        base = self.name if self.name == "numpy" else f"{self.name}:{self.device}"
+        return base if self.precision == "exact" else f"{base}:{self.precision}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(spec={self.spec!r})"
@@ -162,9 +186,20 @@ class Backend(ABC):
     def sqrt(self, x: Array) -> Array:
         """Elementwise square root."""
 
-    @abstractmethod
     def clip(self, x: Array, lower: Optional[float], upper: Optional[float]) -> Array:
-        """Elementwise clamp to ``[lower, upper]`` (either bound optional)."""
+        """Elementwise clamp to ``[lower, upper]`` (either bound optional).
+
+        Both bounds ``None`` is a pass-through: ``np.clip`` and
+        ``torch.clamp`` each reject the double-``None`` call, so the seam
+        guards it once here instead of in every backend.
+        """
+        if lower is None and upper is None:
+            return self.asarray(x)
+        return self._clip(x, lower, upper)
+
+    @abstractmethod
+    def _clip(self, x: Array, lower: Optional[float], upper: Optional[float]) -> Array:
+        """Backend clamp with at least one bound set (see :meth:`clip`)."""
 
     # ------------------------------------------------------------------
     # reductions
@@ -218,3 +253,70 @@ class Backend(ABC):
         shape: Tuple[int, ...],
     ) -> Array:
         """Seeded uniform draw, identical across backends for one stream."""
+
+    def sample_negatives(
+        self,
+        rng: np.random.Generator,
+        shape: Union[int, Tuple[int, ...]],
+        num_nodes: int,
+    ) -> Any:
+        """Uniform negative-node draws for the skip-gram hot path.
+
+        Exact backends consume the caller's numpy stream (cross-backend
+        identical draws, like :meth:`gaussian`); a ``"fast"`` backend may
+        instead derive a device-side generator from the stream and return a
+        native integer array, trading draw-for-draw parity for zero host
+        transfer.  Either return type is a valid index argument to
+        :meth:`gather` / :meth:`index_add_` / :meth:`skipgram_step`.
+        """
+        return rng.integers(0, int(num_nodes), size=shape)
+
+    # ------------------------------------------------------------------
+    # fused hot path (skip-gram negative sampling, Algorithm 2)
+    # ------------------------------------------------------------------
+    def skipgram_step(
+        self,
+        w_in: Array,
+        w_out: Array,
+        positive: np.ndarray,
+        negatives: Any,
+        learning_rate: float,
+    ) -> Array:
+        """One fused skip-gram gather–dot–sigmoid update; returns the loss.
+
+        Applies the Eq.-2 negative-sampling ascent step in place:
+        ``positive`` is the batch's ``(B, 2)`` edge array and ``negatives``
+        a ``(B, k)`` array of negative node ids, each row paired with the
+        corresponding positive source node (Algorithm 2 lines 3-8).  All
+        per-pair gradients are computed from the pre-update snapshot and
+        scatter-added with the full learning rate, exactly like the unfused
+        model path.  The returned batch loss (negative mean objective) is a
+        **native 0-d array** — scalarise once per epoch via :meth:`scalar`
+        rather than per batch, so accelerator pipelines are never stalled.
+
+        This default composes the protocol's own ops, which makes it the
+        numpy reference implementation: backends with a genuinely fused
+        kernel (``TorchBackend`` in fast mode) override it and answer to
+        this reference in the conformance suite.
+        """
+        positive = np.asarray(positive, dtype=np.int64)
+        src, dst = positive[:, 0], positive[:, 1]
+        neg = np.asarray(negatives, dtype=np.int64)
+        v_i = self.gather(w_in, src)  # (B, d)
+        v_j = self.gather(w_out, dst)  # (B, d)
+        neg_v = self.gather(w_out, neg)  # (B, k, d)
+        pos_scores = self.rowwise_dot(v_i, v_j)
+        neg_scores = self.batched_rowwise_dot(v_i, neg_v)
+        loss = -(
+            self.sum(self.log_sigmoid(pos_scores))
+            + self.sum(self.log_sigmoid(-neg_scores))
+        ) / max(1, positive.shape[0])
+        pos_coeff = 1.0 - self.sigmoid(pos_scores)  # (B,)   d log sigma(x)/dx
+        neg_coeff = -self.sigmoid(neg_scores)  # (B, k)  d log sigma(-x)/dx
+        lr = float(learning_rate)
+        grad_in = pos_coeff[:, None] * v_j + self.weighted_rows_sum(neg_coeff, neg_v)
+        self.index_add_(w_in, src, lr * grad_in)
+        self.index_add_(w_out, dst, lr * (pos_coeff[:, None] * v_i))
+        neg_rows = (neg_coeff[..., None] * v_i[:, None, :]).reshape(-1, v_i.shape[1])
+        self.index_add_(w_out, neg.reshape(-1), lr * neg_rows)
+        return loss

@@ -128,7 +128,7 @@ class NumpyBackend(Backend):
     def sqrt(self, x: np.ndarray) -> np.ndarray:
         return np.sqrt(x)
 
-    def clip(
+    def _clip(
         self, x: np.ndarray, lower: Optional[float], upper: Optional[float]
     ) -> np.ndarray:
         return np.clip(np.asarray(x, dtype=np.float64), lower, upper)

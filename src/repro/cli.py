@@ -108,15 +108,19 @@ def _check_dataset_or_exit(name: str) -> None:
 
 
 def _check_backend_or_exit(args: argparse.Namespace) -> None:
-    """Validate the backend/device request early, with a one-line message.
+    """Validate the backend/device/precision request early, one-line message.
 
     Runs for every command that will train: an explicit ``--backend`` /
-    ``--device`` (or an ambient ``$REPRO_BACKEND``) that names an unknown,
-    uninstalled or device-incompatible backend must fail before any dataset
-    or model work starts — and without a traceback.
+    ``--device`` / ``--precision`` (or an ambient ``$REPRO_BACKEND``) that
+    names an unknown, uninstalled or incompatible backend must fail before
+    any dataset or model work starts — and without a traceback.
     """
     try:
-        get_backend(getattr(args, "backend", None), getattr(args, "device", None))
+        get_backend(
+            getattr(args, "backend", None),
+            getattr(args, "device", None),
+            getattr(args, "precision", None),
+        )
     except BackendError as exc:
         raise SystemExit(str(exc))
 
@@ -313,6 +317,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
               f"(precedence: --backend > config > $REPRO_BACKEND > numpy)")
         for line in _backend_availability_lines():
             print(f"  {line}")
+        print("precisions: exact (float64, default; bit-for-bit reference) "
+              "| fast (float32 device-resident, accelerator backends only)")
     return 0
 
 
@@ -361,6 +367,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         overrides["backend"] = args.backend
     if args.device is not None:
         overrides["device"] = args.device
+    if args.precision is not None:
+        overrides["precision"] = args.precision
     model = _make_model_or_exit(
         entry.name, epsilon=epsilon, graph=graph, rng=args.seed, **overrides
     )
@@ -397,9 +405,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         settings = dataclasses.replace(settings, dataset_scale=args.scale)
     if args.seed is not None:
         settings = dataclasses.replace(settings, seed=args.seed)
-    if args.backend is not None or args.device is not None:
+    if args.backend is not None or args.device is not None or args.precision is not None:
         settings = dataclasses.replace(
-            settings, backend=args.backend, device=args.device
+            settings,
+            backend=args.backend,
+            device=args.device,
+            precision=args.precision,
         )
     if args.on_disk:
         settings = dataclasses.replace(settings, on_disk=True)
@@ -443,9 +454,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module = modules[args.name]
     _check_backend_or_exit(args)
     settings = ExperimentSettings.preset(args.preset)
-    if args.backend is not None or args.device is not None:
+    if args.backend is not None or args.device is not None or args.precision is not None:
         settings = dataclasses.replace(
-            settings, backend=args.backend, device=args.device
+            settings,
+            backend=args.backend,
+            device=args.device,
+            precision=args.precision,
         )
     if args.on_disk:
         settings = dataclasses.replace(settings, on_disk=True)
@@ -780,6 +794,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "see `backends list`)")
     p_train.add_argument("--device", default=None,
                          help="device for the backend (e.g. cpu, cuda)")
+    p_train.add_argument("--precision", default=None, choices=["exact", "fast"],
+                         help="arithmetic mode: exact float64 (default) or "
+                              "fast float32 device-resident (torch only)")
     p_train.add_argument("--out", help="save embeddings to this .npz file")
     p_train.set_defaults(func=_cmd_train)
 
@@ -798,6 +815,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compute backend (numpy | torch | torch:DEVICE)")
     p_eval.add_argument("--device", default=None,
                         help="device for the backend (e.g. cpu, cuda)")
+    p_eval.add_argument("--precision", default=None, choices=["exact", "fast"],
+                        help="arithmetic mode: exact float64 (default) or "
+                             "fast float32 device-resident (torch only)")
     p_eval.add_argument("--on-disk", action="store_true",
                         help="load the dataset as a memory-mapped on-disk graph")
     p_eval.add_argument("--json", help="also write the result row as JSON ('-' for stdout)")
@@ -827,6 +847,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "| torch:DEVICE); cached separately per backend")
     p_exp.add_argument("--device", default=None,
                        help="device for the backend (e.g. cpu, cuda)")
+    p_exp.add_argument("--precision", default=None, choices=["exact", "fast"],
+                       help="arithmetic mode for every cell: exact float64 "
+                            "(default) or fast float32 (torch only); cached "
+                            "separately per precision")
     p_exp.add_argument("--on-disk", action="store_true",
                        help="load every cell's dataset as a memory-mapped "
                             "on-disk graph (cached under the graph cache root)")

@@ -93,7 +93,9 @@ class AdvSGM(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: build discriminator, generators, sampler, budget."""
         self.graph = graph
-        self.backend_ = get_backend(self.config.backend, self.config.device)
+        self.backend_ = get_backend(
+            self.config.backend, self.config.device, self.config.precision
+        )
         disc_rng, gen_rng, sample_rng = spawn_rngs(self._rng, 3)
 
         self.discriminator = AdvSGMDiscriminator(

@@ -66,6 +66,14 @@ class AdvSGMConfig:
         every backend before being transferred, so a fixed seed yields the
         same mechanism invocations (and the same budget-driven early stop)
         under numpy and torch alike.
+    precision:
+        ``"exact"`` (default; float64, bit-for-bit with the numpy reference)
+        or ``"fast"`` (float32 device-resident arithmetic with fused batch
+        updates, accelerator backends only).  Like the backend choice, the
+        precision mode is *utility-only*: the RDP accountant consumes the
+        sampling probabilities and the noise multiplier, none of which
+        depend on the arithmetic width, so the (epsilon, delta) guarantee is
+        identical under both modes.
     """
 
     embedding_dim: int = 128
@@ -90,6 +98,7 @@ class AdvSGMConfig:
     rdp_orders: Tuple[int, ...] = field(default_factory=lambda: tuple(range(2, 65)))
     backend: Optional[str] = None
     device: Optional[str] = None
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -123,6 +132,8 @@ class AdvSGMConfig:
             self.backend = str(self.backend)
         if self.device is not None:
             self.device = str(self.device)
+        if self.precision is not None:
+            self.precision = str(self.precision)
 
     def without_privacy(self) -> "AdvSGMConfig":
         """Return a copy of this config with differential privacy disabled."""

@@ -47,6 +47,7 @@ class SkipGramConfig:
     negative_distribution: str = "uniform"
     backend: Optional[str] = None
     device: Optional[str] = None
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.embedding_dim <= 0:
@@ -63,6 +64,8 @@ class SkipGramConfig:
             self.backend = str(self.backend)
         if self.device is not None:
             self.device = str(self.device)
+        if self.precision is not None:
+            self.precision = str(self.precision)
 
 
 @register_model(
@@ -101,7 +104,9 @@ class SkipGramModel(EstimatorMixin):
     def _setup(self, graph: Graph) -> None:
         """Bind ``graph``: initialise embeddings and the batch sampler."""
         self.graph = graph
-        self.backend_ = get_backend(self.config.backend, self.config.device)
+        self.backend_ = get_backend(
+            self.config.backend, self.config.device, self.config.precision
+        )
         init_rng, sample_rng = spawn_rngs(self._rng, 2)
         dim = self.config.embedding_dim
         self.w_in = uniform_embedding(
@@ -119,10 +124,20 @@ class SkipGramModel(EstimatorMixin):
             rng=sample_rng,
             negative_distribution=self.config.negative_distribution,
         )
+        # Fast-precision backends run each batch through the fused
+        # ``skipgram_step`` and draw their negatives device-side, so their
+        # pair source pulls positives-only batches (the unigram alias table
+        # is a host-side structure; it stays on the generic path).
+        self._fused = (
+            self.backend_.precision == "fast"
+            and self.config.negative_distribution == "uniform"
+        )
         # The LINE-style trainer consumes its edge batches through the same
         # PairSource seam as the walk-corpus trainers; each pulled batch is
         # exactly one sampler draw, so the stream order is unchanged.
-        self.pair_source_ = SampledBatchSource(self.sampler.sample)
+        self.pair_source_ = SampledBatchSource(
+            self._sample_fused_batch if self._fused else self.sampler.sample
+        )
 
     # ------------------------------------------------------------------
     # embedding access
@@ -148,8 +163,14 @@ class SkipGramModel(EstimatorMixin):
             be.gather(self.w_in, pairs[:, 0]), be.gather(self.w_out, pairs[:, 1])
         )
 
-    def batch_loss(self, batch: SampleBatch) -> float:
-        """Negative mean skip-gram objective of a batch (lower is better)."""
+    def batch_loss(self, batch: SampleBatch):
+        """Negative mean skip-gram objective of a batch (lower is better).
+
+        Returned as a backend-native 0-d value, not a Python float: the
+        training loop accumulates losses natively and scalarises once per
+        epoch (:meth:`repro.backend.base.Backend.scalar`), so accelerator
+        backends are never forced into a per-batch device sync.
+        """
         be = self.backend_
         pos_scores = self.pair_scores(batch.positive_edges)
         neg_scores = self.pair_scores(batch.negative_pairs)
@@ -157,61 +178,102 @@ class SkipGramModel(EstimatorMixin):
             log_sigmoid(pos_scores, backend=be).sum()
             + log_sigmoid(-neg_scores, backend=be).sum()
         )
-        return float(-objective / max(1, batch.batch_size))
+        return -objective / max(1, batch.batch_size)
 
     def _accumulate_gradients(
         self, batch: SampleBatch
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Ascent gradients for the touched rows of ``W_in`` and ``W_out``.
 
-        Returns ``(grad_in, touched_in, grad_out, touched_out)`` where the
-        gradients are dense ``(num_nodes, dim)`` accumulators and the touched
-        arrays list the unique rows that received contributions.
+        Returns ``(grad_in, touched_in, grad_out, touched_out)`` where each
+        gradient is a compact ``(len(touched), dim)`` accumulator aligned
+        with its sorted-unique touched-row array.  Compact buffers replace
+        the historical dense ``(num_nodes, dim)`` per-batch accumulators
+        (two ~50 MB zero allocations per batch at 50k x 128 float64); the
+        per-row accumulation order is unchanged, so the update stays
+        bit-for-bit (pinned by the golden digests).
         """
         be = self.backend_
-        grad_in = be.zeros_like(self.w_in)
-        grad_out = be.zeros_like(self.w_out)
-
         pos = batch.positive_edges
+        neg = batch.negative_pairs
         pos_scores = self.pair_scores(pos)
         pos_coeff = 1.0 - sigmoid(pos_scores, backend=be)  # d log sigma(x) / dx
-        be.index_add_(grad_in, pos[:, 0], pos_coeff[:, None] * be.gather(self.w_out, pos[:, 1]))
-        be.index_add_(grad_out, pos[:, 1], pos_coeff[:, None] * be.gather(self.w_in, pos[:, 0]))
-
-        neg = batch.negative_pairs
         neg_scores = self.pair_scores(neg)
         neg_coeff = -sigmoid(neg_scores, backend=be)  # d log sigma(-x) / dx
-        be.index_add_(grad_in, neg[:, 0], neg_coeff[:, None] * be.gather(self.w_out, neg[:, 1]))
-        be.index_add_(grad_out, neg[:, 1], neg_coeff[:, None] * be.gather(self.w_in, neg[:, 0]))
 
-        touched_in = np.unique(np.concatenate([pos[:, 0], neg[:, 0]]))
-        touched_out = np.unique(np.concatenate([pos[:, 1], neg[:, 1]]))
+        # Map every touched node to its slot in a compact buffer; the slots
+        # of the positive pairs come first, matching the historical add
+        # order (positives then negatives) per accumulator row.
+        touched_in, in_slots = np.unique(
+            np.concatenate([pos[:, 0], neg[:, 0]]), return_inverse=True
+        )
+        touched_out, out_slots = np.unique(
+            np.concatenate([pos[:, 1], neg[:, 1]]), return_inverse=True
+        )
+        dim = self.config.embedding_dim
+        grad_in = be.zeros((touched_in.shape[0], dim))
+        grad_out = be.zeros((touched_out.shape[0], dim))
+        split = pos.shape[0]
+        be.index_add_(grad_in, in_slots[:split], pos_coeff[:, None] * be.gather(self.w_out, pos[:, 1]))
+        be.index_add_(grad_out, out_slots[:split], pos_coeff[:, None] * be.gather(self.w_in, pos[:, 0]))
+        be.index_add_(grad_in, in_slots[split:], neg_coeff[:, None] * be.gather(self.w_out, neg[:, 1]))
+        be.index_add_(grad_out, out_slots[split:], neg_coeff[:, None] * be.gather(self.w_in, neg[:, 0]))
         return grad_in, touched_in, grad_out, touched_out
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def train_step(self, batch: Optional[SampleBatch] = None) -> float:
+    def _sample_fused_batch(self) -> SampleBatch:
+        """A positives-only batch for the fused fast path.
+
+        Negatives are drawn device-side inside :meth:`train_step`, so none
+        are pulled from the host stream here.
+        """
+        return SampleBatch(
+            positive_edges=self.sampler.sample_positives(),
+            negative_pairs=np.empty((0, 2), dtype=np.int64),
+        )
+
+    def train_step(self, batch: Optional[SampleBatch] = None):
         """One batch of gradient-ascent updates; returns the batch loss.
 
         ``batch`` defaults to one fresh sampler draw (the historical
         behaviour); :meth:`fit` passes batches pulled from ``pair_source_``.
+        The loss is backend-native (see :meth:`batch_loss`).
 
         Updates follow the usual skip-gram/SGD convention: per-pair gradients
         are accumulated into their embedding rows and applied with the full
         learning rate (no division by the batch size), which is how word2vec,
-        LINE and DeepWalk implementations behave.
+        LINE and DeepWalk implementations behave.  Under ``precision="fast"``
+        the whole batch runs through the backend's fused
+        :meth:`~repro.backend.base.Backend.skipgram_step`.
         """
         if batch is None:
-            batch = self.sampler.sample()
+            batch = self._sample_fused_batch() if self._fused else self.sampler.sample()
         be = self.backend_
-        loss = self.batch_loss(batch)
-        grad_in, touched_in, grad_out, touched_out = self._accumulate_gradients(batch)
         lr = self.config.learning_rate
-        # The touched indices are unique, so the scatter-add applies exactly
-        # the historical ``w[touched] += lr * grad[touched]`` update.
-        be.index_add_(self.w_in, touched_in, lr * be.gather(grad_in, touched_in))
-        be.index_add_(self.w_out, touched_out, lr * be.gather(grad_out, touched_out))
+        if self._fused:
+            pos = batch.positive_edges
+            if batch.negative_pairs.shape[0]:
+                # A caller-supplied full batch: reuse its negative nodes
+                # (each row of negative_pairs is (source, negative) with the
+                # sources repeating positive[:, 0] in order).
+                negatives = batch.negative_pairs[:, 1].reshape(pos.shape[0], -1)
+            else:
+                negatives = be.sample_negatives(
+                    self.sampler.rng,
+                    (pos.shape[0], self.config.num_negatives),
+                    self.graph.num_nodes,
+                )
+            loss = be.skipgram_step(self.w_in, self.w_out, pos, negatives, lr)
+        else:
+            loss = self.batch_loss(batch)
+            grad_in, touched_in, grad_out, touched_out = self._accumulate_gradients(batch)
+            # The touched indices are unique and aligned with the compact
+            # accumulators, so the scatter-add applies exactly the
+            # historical ``w[touched] += lr * grad[touched]`` update.
+            be.index_add_(self.w_in, touched_in, lr * grad_in)
+            be.index_add_(self.w_out, touched_out, lr * grad_out)
         if self.config.normalize_embeddings:
             self._normalize()
         return loss
@@ -224,7 +286,12 @@ class SkipGramModel(EstimatorMixin):
         )
 
         def epoch_end(epoch: int, losses) -> None:
-            self.history.record("loss", sum(losses) / self.config.batches_per_epoch)
+            # Losses are backend-native 0-d values: one scalarisation per
+            # epoch, not one device sync per batch.
+            self.history.record(
+                "loss",
+                self.backend_.scalar(sum(losses)) / self.config.batches_per_epoch,
+            )
 
         batches = self.pair_source_.batches()
         loop.run(lambda epoch, step: self.train_step(next(batches)), epoch_end)

@@ -40,9 +40,10 @@ class ExperimentSettings:
         Privacy budgets swept by the comparison experiments.
     seed:
         Base seed; every experiment derives per-run seeds from it.
-    backend / device:
+    backend / device / precision:
         Compute backend every cell trains on (``None`` defers to the model
-        configs and then the ambient default; see :mod:`repro.backend`).
+        configs and then the ambient default; see :mod:`repro.backend`),
+        its device, and its precision mode (``"exact"`` / ``"fast"``).
     on_disk:
         Load every dataset as a memory-mapped on-disk graph (materialised
         once under the graph cache, bit-identical to the in-RAM build).
@@ -67,6 +68,7 @@ class ExperimentSettings:
     seed: int = 2025
     backend: Optional[str] = None
     device: Optional[str] = None
+    precision: Optional[str] = None
     on_disk: bool = False
 
     def __post_init__(self) -> None:
@@ -96,6 +98,8 @@ class ExperimentSettings:
             self.backend = str(self.backend)
         if self.device is not None:
             self.device = str(self.device)
+        if self.precision is not None:
+            self.precision = str(self.precision)
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":

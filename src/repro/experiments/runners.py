@@ -235,6 +235,7 @@ def spec_from_settings(
         test_fraction=settings.test_fraction,
         backend=settings.backend,
         device=settings.device,
+        precision=settings.precision,
         on_disk=settings.on_disk,
     )
 
@@ -263,12 +264,15 @@ def compute_cell(
             on_disk=cell.on_disk,
         )
     overrides = dict(cell.model.overrides)
-    # The cell-level backend/device win over any model-spec override, so a
-    # sweep re-run under --backend torch retrains every cell on torch.
+    # The cell-level backend/device/precision win over any model-spec
+    # override, so a sweep re-run under --backend torch (or --precision
+    # fast) retrains every cell accordingly.
     if cell.backend is not None:
         overrides["backend"] = cell.backend
     if cell.device is not None:
         overrides["device"] = cell.device
+    if cell.precision is not None:
+        overrides["precision"] = cell.precision
     row: Dict[str, Any] = {
         "task": cell.task,
         "dataset": cell.dataset,
@@ -463,6 +467,7 @@ def _single_cell(
         test_fraction=settings.test_fraction,
         backend=settings.backend,
         device=settings.device,
+        precision=settings.precision,
         on_disk=settings.on_disk,
     )
 

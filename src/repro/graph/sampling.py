@@ -208,8 +208,23 @@ class EdgeSampler:
             self.positive_batch_size * self.num_negatives / self.graph.num_nodes,
         )
 
-    def sample(self) -> SampleBatch:
-        """Draw one batch: ``B`` positive edges and ``B * k`` negative pairs."""
+    @property
+    def rng(self) -> np.random.Generator:
+        """The sampler's generator (the model's sampling stream).
+
+        Exposed so fast-precision backends can derive device-side negative
+        draws from the same seeded stream (see
+        :meth:`repro.backend.base.Backend.sample_negatives`).
+        """
+        return self._rng
+
+    def sample_positives(self) -> np.ndarray:
+        """Draw the ``(B, 2)`` positive-edge half of one batch.
+
+        The fast-precision skip-gram path draws its negatives device-side,
+        so it pulls only positives from the numpy stream; :meth:`sample`
+        composes this with the host-side negative draw.
+        """
         take = self.positive_batch_size
         # Sampling without replacement matches the subsampled-RDP analysis.
         idx = self._rng.choice(self.graph.num_edges, size=take, replace=False)
@@ -218,7 +233,12 @@ class EdgeSampler:
         # "input" node across batches.
         flip = self._rng.random(take) < 0.5
         positive[flip] = positive[flip][:, ::-1]
+        return positive
 
+    def sample(self) -> SampleBatch:
+        """Draw one batch: ``B`` positive edges and ``B * k`` negative pairs."""
+        positive = self.sample_positives()
+        take = positive.shape[0]
         sources = np.repeat(positive[:, 0], self.num_negatives)
         if self._negative_table is not None:
             negatives = self._negative_table.draw(

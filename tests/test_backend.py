@@ -104,6 +104,61 @@ class TestResolution:
 
 
 # ---------------------------------------------------------------------------
+# precision modes: spec grammar, resolution, canonicalisation (torch-free)
+# ---------------------------------------------------------------------------
+class TestPrecisionResolution:
+    def test_precision_token_parses_off_the_spec_end(self, monkeypatch):
+        # Devices may contain colons ("cuda:0"), so the precision token is
+        # peeled off the END of the spec, never the middle.
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert canonical_backend_spec("torch:fast") == "torch:cpu:fast"
+        assert canonical_backend_spec("torch:cuda:fast") == "torch:cuda:fast"
+        assert canonical_backend_spec("torch:cuda:0:fast") == "torch:cuda:0:fast"
+        assert canonical_backend_spec("torch", precision="fast") == "torch:cpu:fast"
+        assert canonical_backend_spec("torch", "cuda", "fast") == "torch:cuda:fast"
+
+    def test_exact_is_canonicalised_away(self, monkeypatch):
+        # Pre-precision cache keys must survive: an explicit "exact" resolves
+        # to the very same canonical strings the seam produced before.
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert canonical_backend_spec("numpy", precision="exact") == "numpy"
+        assert canonical_backend_spec("torch:cpu:exact") == "torch:cpu"
+        assert canonical_backend_spec("torch", precision="exact") == "torch:cpu"
+        assert canonical_backend_spec("torch:cuda:1:exact") == "torch:cuda:1"
+
+    def test_env_var_can_name_a_fast_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch:cuda:fast")
+        assert canonical_backend_spec() == "torch:cuda:fast"
+
+    def test_conflicting_precisions_rejected(self):
+        with pytest.raises(BackendError, match="conflicting precisions"):
+            get_backend("torch:cpu:fast", precision="exact")
+
+    def test_agreeing_precisions_accepted(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert canonical_backend_spec("torch:fast", precision="fast") == "torch:cpu:fast"
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(BackendError, match="unknown precision"):
+            get_backend("numpy", precision="double")
+
+    def test_numpy_rejects_fast(self):
+        # numpy IS the exact reference; it has no float32 mode to offer.
+        with pytest.raises(BackendError, match="does not support precision"):
+            get_backend("numpy", precision="fast")
+
+    def test_numpy_exact_is_the_shared_instance(self):
+        assert get_backend("numpy", precision="exact") is NUMPY_BACKEND
+        assert NUMPY_BACKEND.precision == "exact"
+        assert NUMPY_BACKEND.spec == "numpy"
+
+    def test_instance_passthrough_checks_precision(self):
+        assert get_backend(NUMPY_BACKEND, precision="exact") is NUMPY_BACKEND
+        with pytest.raises(BackendError, match="precision"):
+            get_backend(NUMPY_BACKEND, precision="fast")
+
+
+# ---------------------------------------------------------------------------
 # the numpy backend is the reference implementation
 # ---------------------------------------------------------------------------
 class TestNumpyBackendOps:
@@ -175,6 +230,154 @@ class TestNumpyBackendOps:
 
 
 # ---------------------------------------------------------------------------
+# protocol conformance: every (backend, precision) vs the numpy reference
+# ---------------------------------------------------------------------------
+def _precisioned_backends():
+    """Every (family, precision) combination available in this process."""
+    combos = [("numpy", "exact")]
+    if TORCH_AVAILABLE:
+        combos += [("torch", "exact"), ("torch", "fast")]
+    return combos
+
+
+#: Agreement tolerance with the float64 numpy reference, per precision mode.
+CONFORMANCE_RTOL = {"exact": 1e-12, "fast": 3e-5}
+CONFORMANCE_ATOL = {"exact": 1e-12, "fast": 1e-5}
+
+
+@pytest.mark.parametrize("family,precision", _precisioned_backends())
+class TestBackendProtocolConformance:
+    """The full array-ops protocol agrees with the numpy reference.
+
+    ``exact`` backends must match at float64 round-off; ``fast`` backends
+    (float32 device arithmetic) within single-precision tolerance.  The
+    sweep runs for whatever is installed — numpy-only machines still pin the
+    reference against itself, and the CI torch job covers all three combos.
+    """
+
+    def _backend(self, family, precision):
+        device = None if family == "numpy" else "cpu"
+        return get_backend(family, device=device, precision=precision)
+
+    def test_core_ops_match_reference(self, family, precision):
+        be = self._backend(family, precision)
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(6, 4))
+        b = rng.normal(size=(6, 4))
+        bundle = rng.normal(size=(6, 5, 4))
+        coeff = rng.normal(size=(6, 5))
+        checks = [
+            (be.rowwise_dot(be.asarray(a), be.asarray(b)),
+             NUMPY_BACKEND.rowwise_dot(a, b)),
+            (be.batched_rowwise_dot(be.asarray(a), be.asarray(bundle)),
+             NUMPY_BACKEND.batched_rowwise_dot(a, bundle)),
+            (be.weighted_rows_sum(be.asarray(coeff), be.asarray(bundle)),
+             NUMPY_BACKEND.weighted_rows_sum(coeff, bundle)),
+            (be.sigmoid(be.asarray(a)), NUMPY_BACKEND.sigmoid(a)),
+            (be.log_sigmoid(be.asarray(a)), NUMPY_BACKEND.log_sigmoid(a)),
+            (be.softmax(be.asarray(a), axis=1), NUMPY_BACKEND.softmax(a, axis=1)),
+            (be.clip(be.asarray(a), -0.5, 0.5), NUMPY_BACKEND.clip(a, -0.5, 0.5)),
+            (be.clip_rows(be.asarray(a * 3), 1.0), NUMPY_BACKEND.clip_rows(a * 3, 1.0)),
+            (be.clip_global(be.asarray(a * 3), 1.0),
+             NUMPY_BACKEND.clip_global(a * 3, 1.0)),
+            (be.sum(be.asarray(a), axis=0), NUMPY_BACKEND.sum(a, axis=0)),
+            (be.mean(be.asarray(a)), NUMPY_BACKEND.mean(a)),
+        ]
+        rtol = CONFORMANCE_RTOL[precision]
+        atol = CONFORMANCE_ATOL[precision]
+        for got, want in checks:
+            assert np.allclose(
+                be.to_numpy(got), np.asarray(want), rtol=rtol, atol=atol
+            )
+
+    def test_clip_without_bounds_is_a_no_op(self, family, precision):
+        # clip(x, None, None) must not call into the element-wise kernel
+        # (np.clip raises on two None bounds); the template method returns
+        # the values unchanged.
+        be = self._backend(family, precision)
+        x = np.linspace(-3.0, 3.0, 12).reshape(3, 4)
+        out = be.clip(be.asarray(x), None, None)
+        assert np.allclose(
+            be.to_numpy(out), x,
+            rtol=CONFORMANCE_RTOL[precision], atol=CONFORMANCE_ATOL[precision],
+        )
+
+    def test_scalar_returns_a_python_float(self, family, precision):
+        be = self._backend(family, precision)
+        total = be.scalar(be.sum(be.asarray(np.full((3, 3), 0.5))))
+        assert isinstance(total, float)
+        assert total == pytest.approx(4.5, rel=CONFORMANCE_RTOL[precision])
+
+    def test_sample_negatives_deterministic_and_in_range(self, family, precision):
+        be = self._backend(family, precision)
+        first = be.to_numpy(be.sample_negatives(np.random.default_rng(5), (7, 3), 20))
+        second = be.to_numpy(be.sample_negatives(np.random.default_rng(5), (7, 3), 20))
+        assert np.array_equal(first, second)  # seeded => reproducible
+        assert first.shape == (7, 3)
+        assert first.min() >= 0 and first.max() < 20
+        if precision == "exact":
+            # Exact backends consume the raw numpy stream verbatim.
+            assert np.array_equal(
+                first, np.random.default_rng(5).integers(0, 20, size=(7, 3))
+            )
+
+    def test_skipgram_step_matches_reference(self, family, precision):
+        """The fused op equals reference loss + weight updates per precision."""
+        be = self._backend(family, precision)
+        rng = np.random.default_rng(17)
+        w_in0 = rng.normal(scale=0.3, size=(30, 8))
+        w_out0 = rng.normal(scale=0.3, size=(30, 8))
+        positive = rng.integers(0, 30, size=(12, 2))
+        negatives = rng.integers(0, 30, size=(12, 4))
+        lr = 0.05
+        ref_in, ref_out = w_in0.copy(), w_out0.copy()
+        ref_loss = NUMPY_BACKEND.skipgram_step(ref_in, ref_out, positive, negatives, lr)
+        w_in = be.parameter(w_in0)
+        w_out = be.parameter(w_out0)
+        loss = be.skipgram_step(w_in, w_out, positive, negatives, lr)
+        rtol = CONFORMANCE_RTOL[precision]
+        atol = CONFORMANCE_ATOL[precision]
+        assert be.scalar(loss) == pytest.approx(NUMPY_BACKEND.scalar(ref_loss), rel=max(rtol, 1e-12))
+        assert np.allclose(be.to_numpy(w_in), ref_in, rtol=rtol, atol=atol)
+        assert np.allclose(be.to_numpy(w_out), ref_out, rtol=rtol, atol=atol)
+
+    def test_skipgram_step_on_numpy_matches_unfused_model_math(self, family, precision):
+        """One reference step == one unfused loss+gradient+update sequence."""
+        if family != "numpy":
+            pytest.skip("pins the numpy reference only")
+        from repro.graph.sampling import SampleBatch
+
+        rng = np.random.default_rng(23)
+        w_in0 = rng.normal(scale=0.3, size=(20, 6))
+        w_out0 = rng.normal(scale=0.3, size=(20, 6))
+        positive = rng.integers(0, 20, size=(9, 2))
+        negatives = rng.integers(0, 20, size=(9, 3))
+        lr = 0.1
+        fused_in, fused_out = w_in0.copy(), w_out0.copy()
+        fused_loss = NUMPY_BACKEND.skipgram_step(
+            fused_in, fused_out, positive, negatives, lr
+        )
+        # The unfused path as the SkipGramModel runs it (sans normalisation).
+        model = repro.make_model("sgm", embedding_dim=6, normalize_embeddings=False)
+        model.graph = None
+        model.backend_ = NUMPY_BACKEND
+        model.w_in, model.w_out = w_in0.copy(), w_out0.copy()
+        model.config.learning_rate = lr
+        sources = np.repeat(positive[:, 0], negatives.shape[1])
+        batch = SampleBatch(
+            positive_edges=positive,
+            negative_pairs=np.stack([sources, negatives.reshape(-1)], axis=1),
+        )
+        loss = model.batch_loss(batch)
+        grad_in, touched_in, grad_out, touched_out = model._accumulate_gradients(batch)
+        NUMPY_BACKEND.index_add_(model.w_in, touched_in, lr * grad_in)
+        NUMPY_BACKEND.index_add_(model.w_out, touched_out, lr * grad_out)
+        assert float(fused_loss) == pytest.approx(float(loss), rel=1e-12)
+        assert np.allclose(fused_in, model.w_in, rtol=1e-12, atol=1e-12)
+        assert np.allclose(fused_out, model.w_out, rtol=1e-12, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
 # backend identity in the experiment cache
 # ---------------------------------------------------------------------------
 class TestCacheBackendIdentity:
@@ -243,6 +446,48 @@ class TestCacheBackendIdentity:
 
 
 # ---------------------------------------------------------------------------
+# precision identity in the experiment cache (torch-free: pure string work)
+# ---------------------------------------------------------------------------
+class TestCachePrecisionIdentity:
+    def test_exact_cells_keep_their_pre_precision_keys(self, monkeypatch):
+        """An explicit "exact" is the same work unit as no precision at all.
+
+        This is what guarantees the precision seam never invalidated any
+        pre-existing cache entry: the canonical form of an exact cell is
+        byte-identical to what it was before precision existed.
+        """
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert cell_key(_cell()) == cell_key(_cell(precision="exact"))
+        assert cell_key(_cell(backend="torch")) == cell_key(
+            _cell(backend="torch", precision="exact")
+        )
+        assert cell_key(_cell(backend="torch")) == cell_key(
+            _cell(backend="torch:cpu:exact")
+        )
+
+    def test_fast_and_exact_cells_never_share_a_key(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        exact = cell_key(_cell(backend="torch"))
+        fast = cell_key(_cell(backend="torch", precision="fast"))
+        assert exact != fast
+        assert (
+            cell_backend_spec(_cell(backend="torch", precision="fast"))
+            == "torch:cpu:fast"
+        )
+
+    def test_fast_spellings_are_one_work_unit(self, monkeypatch):
+        """Cell field, spec suffix and model override all hash identically."""
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        fast = cell_key(_cell(backend="torch", precision="fast"))
+        assert fast == cell_key(_cell(backend="torch:cpu:fast"))
+        via_model = _cell(
+            backend="torch",
+            model=ModelSpec(name="sgm", overrides={"precision": "fast"}),
+        )
+        assert fast == cell_key(via_model)
+
+
+# ---------------------------------------------------------------------------
 # model plumbing: configs, make_model, explicit-numpy parity
 # ---------------------------------------------------------------------------
 class TestModelPlumbing:
@@ -256,11 +501,22 @@ class TestModelPlumbing:
 
         fields = config_field_names(name)
         assert "backend" in fields and "device" in fields
+        assert "precision" in fields
 
     def test_make_model_backend_kwarg_sets_config(self):
         model = repro.make_model("sgm", backend="numpy", device="cpu")
         assert model.config.backend == "numpy"
         assert model.config.device == "cpu"
+        assert model.config.precision is None
+
+    def test_make_model_precision_kwarg_sets_config(self):
+        model = repro.make_model("sgm", backend="torch", precision="fast")
+        assert model.config.precision == "fast"
+
+    def test_numpy_fast_fails_at_bind_time(self):
+        model = repro.make_model("sgm", precision="fast")  # numpy default
+        with pytest.raises(BackendError, match="does not support precision"):
+            model.fit(golden_graph())
 
     def test_unknown_backend_fails_at_bind_time(self):
         model = repro.make_model("sgm", backend="not-a-backend")
@@ -461,3 +717,99 @@ class TestTorchModelParity:
             spent = model.privacy_spent()
             spends[backend] = (spent.epsilon, spent.delta, model.stopped_early)
         assert spends["numpy"] == spends["torch"]
+
+
+# ---------------------------------------------------------------------------
+# fast precision: float32 device path (skips without torch; CI torch job)
+# ---------------------------------------------------------------------------
+@pytest.mark.skipif(not TORCH_AVAILABLE, reason="torch not installed")
+class TestTorchFastPath:
+    """The float32 fast path: identity, determinism, statistical parity.
+
+    Fast mode trades bit-level parity for throughput, so unlike the exact
+    torch rows it is held to *statistical* quality bars — downstream task
+    metrics within tolerance of the exact run — plus strict determinism
+    (same seed, same fast run, twice).
+    """
+
+    def _backend(self):
+        return get_backend("torch", device="cpu", precision="fast")
+
+    def test_spec_dtype_and_instance_identity(self):
+        be = self._backend()
+        assert be.precision == "fast"
+        assert be.spec == "torch:cpu:fast"
+        assert be.asarray(np.zeros((2, 2))).dtype == torch.float32
+        # One cached instance per (name, device, precision); fast and exact
+        # never alias.
+        assert be is get_backend("torch:cpu:fast")
+        assert be is not get_backend("torch", device="cpu")
+
+    def test_fast_runs_are_deterministic(self):
+        graph = golden_graph()
+        overrides = dict(GOLDEN_CASES["sgm"]["overrides"])
+        runs = [
+            repro.make_model(
+                "sgm", graph=graph, rng=13,
+                backend="torch", precision="fast", **overrides,
+            ).fit().embeddings_
+            for _ in range(2)
+        ]
+        assert isinstance(runs[0], np.ndarray)  # public surface stays numpy
+        assert np.array_equal(runs[0], runs[1])
+        assert np.all(np.isfinite(runs[0]))
+
+    def test_fast_loss_history_is_finite_floats(self):
+        graph = golden_graph()
+        overrides = dict(GOLDEN_CASES["sgm"]["overrides"])
+        model = repro.make_model(
+            "sgm", graph=graph, rng=13,
+            backend="torch", precision="fast", **overrides,
+        ).fit()
+        losses = model.history.get("loss")
+        assert len(losses) == model.config.num_epochs
+        assert all(isinstance(v, float) and np.isfinite(v) for v in losses)
+
+    def _fit_sgm(self, graph, precision, rng=29):
+        return repro.make_model(
+            "sgm",
+            graph=graph,
+            rng=rng,
+            backend="torch",
+            precision=precision,
+            embedding_dim=32,
+            num_epochs=15,
+            batches_per_epoch=10,
+            batch_size=64,
+        ).fit()
+
+    def test_statistical_parity_link_prediction(self):
+        """Fast AUC within 0.05 of exact on the same held-out split."""
+        from repro.evals.link_prediction import LinkPredictionTask
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("ppi", scale=0.4, seed=29)
+        task = LinkPredictionTask(graph, test_fraction=0.1, rng=29)
+        aucs = {
+            precision: task.evaluate(
+                self._fit_sgm(task.train_graph, precision).embeddings_
+            ).auc
+            for precision in ("exact", "fast")
+        }
+        assert aucs["exact"] > 0.6  # the exact run must itself have signal
+        assert abs(aucs["fast"] - aucs["exact"]) < 0.05
+
+    def test_statistical_parity_node_clustering(self):
+        """Fast NMI within 0.1 of exact on a labelled dataset."""
+        from repro.evals.clustering import NodeClusteringTask
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("wiki", scale=0.15, seed=29)
+        task = NodeClusteringTask(graph)
+        nmis = {
+            precision: task.evaluate(
+                self._fit_sgm(graph, precision).embeddings_
+            ).normalized_mutual_information
+            for precision in ("exact", "fast")
+        }
+        assert abs(nmis["fast"] - nmis["exact"]) < 0.1
