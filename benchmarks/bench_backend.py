@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import resource
 import time
@@ -182,6 +183,7 @@ def main() -> None:
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "graph_build_seconds": build_seconds,
         "results": results,

@@ -143,6 +143,7 @@ class ExperimentCell:
     precision: Optional[str] = None
     on_disk: bool = False
     graph_path: Optional[str] = None
+    walk_cache: Union[bool, str, None] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -171,6 +172,8 @@ class ExperimentCell:
         object.__setattr__(self, "on_disk", bool(self.on_disk))
         if self.graph_path is not None:
             object.__setattr__(self, "graph_path", str(self.graph_path))
+        if self.walk_cache is not None and not isinstance(self.walk_cache, bool):
+            object.__setattr__(self, "walk_cache", str(self.walk_cache))
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-able)."""
@@ -178,6 +181,7 @@ class ExperimentCell:
             "task", "dataset", "epsilon", "repeat", "seed",
             "dataset_scale", "dataset_seed", "test_fraction",
             "backend", "device", "precision", "on_disk", "graph_path",
+            "walk_cache",
         )}
         data["model"] = self.model.to_dict()
         return data
@@ -231,6 +235,13 @@ class ExperimentSpec:
         dataset registry (the ``datasets`` entry then only labels the runs).
         The graph's content fingerprint is hashed into every cell key, so
         two different graphs submitted under one name never alias.
+    walk_cache:
+        Derived-artifact cache for walk corpora (``True`` for the default
+        artifact directory, a directory path, ``False`` to force-disable,
+        ``None`` to defer to ``$REPRO_WALK_CACHE``).  Cells sharing a graph
+        and walk parameters then compute each corpus pass once and replay it
+        everywhere else.  Like ``on_disk``, a placement knob: results are
+        bit-identical and cache keys are unaffected.
     """
 
     task: str
@@ -247,6 +258,7 @@ class ExperimentSpec:
     precision: Optional[str] = None
     on_disk: bool = False
     graph_path: Optional[str] = None
+    walk_cache: Union[bool, str, None] = None
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -281,6 +293,8 @@ class ExperimentSpec:
         if self.precision is not None:
             object.__setattr__(self, "precision", str(self.precision))
         object.__setattr__(self, "on_disk", bool(self.on_disk))
+        if self.walk_cache is not None and not isinstance(self.walk_cache, bool):
+            object.__setattr__(self, "walk_cache", str(self.walk_cache))
         if self.graph_path is not None:
             object.__setattr__(self, "graph_path", str(self.graph_path))
             if len(self.datasets) > 1:
@@ -316,6 +330,7 @@ class ExperimentSpec:
                                 precision=self.precision,
                                 on_disk=self.on_disk,
                                 graph_path=self.graph_path,
+                                walk_cache=self.walk_cache,
                             )
                         )
         return tuple(out)
@@ -342,6 +357,7 @@ class ExperimentSpec:
             "precision": self.precision,
             "on_disk": self.on_disk,
             "graph_path": self.graph_path,
+            "walk_cache": self.walk_cache,
         }
 
     @classmethod

@@ -89,13 +89,19 @@ def canonical_cell_dict(cell: Union[ExperimentCell, Mapping[str, Any]]) -> Dict[
             overrides.pop("backend", None)
             overrides.pop("device", None)
             overrides.pop("precision", None)
+            overrides.pop("walk_cache", None)
     # Graph placement, like compute placement, is canonicalised away or
     # resolved to content: ``on_disk`` only changes *where* bit-identical
     # arrays live (parity is pinned in tests), so it never enters the key;
     # a ``graph_path`` is replaced by the referenced graph's content
     # fingerprint, so two different on-disk graphs submitted under the same
     # dataset name can never alias — and moving a graph directory never
-    # invalidates its cache entries.
+    # invalidates its cache entries.  ``walk_cache`` is the same kind of
+    # knob one level down — corpus passes replayed from the artifact store
+    # are bit-identical to recomputation (pinned in tests/test_walk_cache.py)
+    # — so cached and uncached cells alias, whether the knob rode in as a
+    # cell field or a model override.
+    plain.pop("walk_cache", None)
     plain.pop("on_disk", None)
     graph_path = plain.pop("graph_path", None)
     if graph_path is not None:

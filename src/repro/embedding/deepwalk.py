@@ -16,7 +16,7 @@ overlap, with the identical delivered pair multiset seed-for-seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -67,6 +67,16 @@ class DeepWalkConfig:
     seed-for-seed.  ``prefetch_method`` places the producer in a spawned
     process (``"process"``), a thread (``"thread"``), or picks automatically
     (``"auto"``: process when the graph pickles, thread otherwise).
+
+    ``walk_cache`` opts into the derived-artifact cache: corpus passes are
+    content-addressed by (graph fingerprint, walk parameters, seed
+    derivation) in a :class:`~repro.cache.artifacts.WalkCorpusStore` and
+    replayed as read-only mmaps instead of being rewalked — bit-identical
+    seed-for-seed, across every pair pipeline.  ``True`` selects the default
+    artifact directory, a string selects that directory, ``False`` disables
+    unconditionally, and ``None`` (the default) defers to
+    ``$REPRO_WALK_CACHE``.  A placement knob: it never affects results or
+    experiment cache keys.
     """
 
     embedding_dim: int = 128
@@ -85,6 +95,7 @@ class DeepWalkConfig:
     pair_prefetch: bool = False
     prefetch_depth: int = 2
     prefetch_method: str = "auto"
+    walk_cache: Union[bool, str, None] = None
     backend: Optional[str] = None
     device: Optional[str] = None
     precision: Optional[str] = None
@@ -104,6 +115,8 @@ class DeepWalkConfig:
                 f"prefetch_method must be one of {PREFETCH_METHODS}, "
                 f"got {self.prefetch_method!r}"
             )
+        if self.walk_cache is not None and not isinstance(self.walk_cache, bool):
+            self.walk_cache = str(self.walk_cache)
         if self.backend is not None:
             self.backend = str(self.backend)
         if self.device is not None:
@@ -182,6 +195,16 @@ class DeepWalk(EstimatorMixin):
         """
         cfg = self.config
         bias = self._walk_bias()
+        # Resolve the walk-cache knob once so every epoch (and a prefetch
+        # producer holding a pickled copy) shares one store's counters; with
+        # the knob unset and $REPRO_WALK_CACHE empty this is None and no
+        # cache machinery exists on the golden path.
+        from repro.cache.artifacts import resolve_walk_cache
+
+        self.walk_cache_ = resolve_walk_cache(cfg.walk_cache)
+        # Resolution happened here; hand the engine the store itself (or an
+        # explicit False) so it never consults the environment a second time.
+        walk_cache = self.walk_cache_ if self.walk_cache_ is not None else False
         if cfg.pair_streaming or cfg.pair_prefetch:
             factory = WalkPairChunkFactory(
                 graph=self.graph,
@@ -191,6 +214,7 @@ class DeepWalk(EstimatorMixin):
                 chunk_walks=cfg.stream_chunk_walks,
                 workers=cfg.walk_workers,
                 frontier_shard=cfg.frontier_shard,
+                walk_cache=walk_cache,
                 rng=self._walk_rng,
                 **bias,
             )
@@ -208,6 +232,7 @@ class DeepWalk(EstimatorMixin):
             rng=self._walk_rng,
             workers=cfg.walk_workers,
             frontier_shard=cfg.frontier_shard,
+            walk_cache=walk_cache,
             **bias,
         )
         pairs = walks_to_pairs(corpus, window_size=cfg.window_size)

@@ -226,6 +226,7 @@ def iter_walk_pairs(
     rng: RngLike = None,
     workers: int = 1,
     frontier_shard: int | None = None,
+    walk_cache: object = None,
 ) -> Iterator[np.ndarray]:
     """Stream shuffled (centre, context) pair chunks, corpus never materialised.
 
@@ -242,6 +243,12 @@ def iter_walk_pairs(
     Peak memory is one pass's walk matrix (``num_nodes * walk_length``) plus
     one chunk of pairs (about ``chunk_walks * walk_length * 2 * window_size``
     entries) — independent of ``num_walks`` and of the corpus size.
+
+    ``walk_cache`` (a :class:`~repro.cache.artifacts.WalkCorpusStore`, a
+    directory, ``True``, or ``None`` to defer to ``$REPRO_WALK_CACHE``)
+    replays cached corpus passes as read-only mmaps instead of walking;
+    the pair chunks — and the chunk-shuffle stream, which is spawned off
+    ``rng`` before walking either way — are bit-identical regardless.
     """
     if num_walks <= 0 or walk_length <= 0:
         raise ValueError("num_walks and walk_length must be positive")
@@ -262,6 +269,7 @@ def iter_walk_pairs(
         rng=rng,
         workers=workers,
         frontier_shard=frontier_shard,
+        walk_cache=walk_cache,
     )
     for matrix in passes:
         for start in range(0, matrix.shape[0], chunk_walks):
@@ -299,6 +307,7 @@ class WalkPairChunkFactory:
     chunk_walks: int = _STREAM_CHUNK_WALKS
     workers: int = 1
     frontier_shard: int | None = None
+    walk_cache: object = None
     rng: RngLike = field(default=None)
 
     def __call__(self) -> Iterator[np.ndarray]:
@@ -314,6 +323,7 @@ class WalkPairChunkFactory:
             rng=self.rng,
             workers=self.workers,
             frontier_shard=self.frontier_shard,
+            walk_cache=self.walk_cache,
         )
 
 

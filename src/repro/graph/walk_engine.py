@@ -30,12 +30,15 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (cache -> api -> graph)
+    from repro.cache.artifacts import WalkCorpusStore
 
 #: Second-order modes accepted by :meth:`WalkEngine.node2vec_walks`.
 SECOND_ORDER_MODES = ("auto", "table", "rejection")
@@ -111,6 +114,7 @@ class WalkEngine:
         self._degrees = graph.degrees
         self._tables: Dict[Tuple[float, float], SecondOrderTable] = {}
         self._arc_keys_cache: Optional[np.ndarray] = None
+        self._entry_count: Optional[int] = None
 
     # ------------------------------------------------------------------
     # uniform (first-order) walks
@@ -150,6 +154,7 @@ class WalkEngine:
         rng: RngLike = None,
         workers: int = 1,
         frontier_shard: Optional[int] = None,
+        walk_cache: Any = None,
     ) -> np.ndarray:
         """DeepWalk/node2vec-style corpus: ``num_walks`` shuffled passes.
 
@@ -170,6 +175,12 @@ class WalkEngine:
         pass is itself too large for a single process.  Any ``frontier_shard``
         run (any worker count, including 1) uses the derived-seed discipline
         and is bit-identical for every worker count.
+
+        ``walk_cache`` (a :class:`~repro.cache.artifacts.WalkCorpusStore`, a
+        directory, ``True`` for the default artifact directory, or ``None``
+        to defer to ``$REPRO_WALK_CACHE``) replays previously computed passes
+        from content-addressed ``.npy`` artifacts and persists freshly
+        computed ones — the corpus is bit-identical either way, seed-for-seed.
         """
         passes = self.iter_corpus_passes(
             num_walks,
@@ -179,6 +190,7 @@ class WalkEngine:
             rng=rng,
             workers=workers,
             frontier_shard=frontier_shard,
+            walk_cache=walk_cache,
         )
         return np.vstack(list(passes))
 
@@ -191,6 +203,7 @@ class WalkEngine:
         rng: RngLike = None,
         workers: int = 1,
         frontier_shard: Optional[int] = None,
+        walk_cache: Any = None,
     ):
         """Yield the ``walk_corpus`` passes one matrix at a time.
 
@@ -201,6 +214,16 @@ class WalkEngine:
         produce the same walks seed-for-seed.  With ``workers > 1`` at most
         ``workers + 1`` pass matrices are in flight, so a slow consumer
         bounds the producer's memory.
+
+        With a ``walk_cache``, each pass is first looked up in the artifact
+        store under its content-address (graph fingerprint + canonical walk
+        parameters + the pass's RNG derivation); hits are yielded as
+        read-only ``mmap_mode="r"`` views with no walking at all, misses are
+        computed exactly as without the cache and persisted.  Mixed
+        hit/miss sequences stay bit-identical: stream-mode artifacts record
+        the post-pass generator state, so a replayed pass leaves ``rng``
+        (and the node ordering, recovered from the artifact's first column)
+        exactly where recomputation would have.
         """
         if num_walks <= 0:
             raise ValueError(f"num_walks must be positive, got {num_walks}")
@@ -209,40 +232,155 @@ class WalkEngine:
                 f"frontier_shard must be positive, got {frontier_shard}"
             )
         rng = ensure_rng(rng)
+        store = self._resolve_corpus_store(walk_cache)
         if frontier_shard is not None:
             return self._frontier_sharded_passes(
-                num_walks, walk_length, p, q, rng, workers, frontier_shard
+                num_walks, walk_length, p, q, rng, workers, frontier_shard,
+                store=store,
             )
         if workers > 1:
-            return self._pooled_passes(num_walks, walk_length, p, q, rng, workers)
-        return self._stream_passes(num_walks, walk_length, p, q, rng)
+            return self._pooled_passes(
+                num_walks, walk_length, p, q, rng, workers, store=store
+            )
+        return self._stream_passes(num_walks, walk_length, p, q, rng, store=store)
 
-    def _stream_passes(self, num_walks, walk_length, p, q, rng):
-        """Passes on the shared sequential stream (the legacy discipline)."""
+    # ------------------------------------------------------------------
+    # corpus artifact cache
+    # ------------------------------------------------------------------
+    def _resolve_corpus_store(self, walk_cache: Any) -> Optional["WalkCorpusStore"]:
+        """Coerce the ``walk_cache`` knob; disabled when unfingerprintable.
+
+        Imported lazily so the cache-off hot path (and ``repro.graph`` as a
+        whole) never pays for — or cyclically imports — the cache package.
+        """
+        if walk_cache is False:
+            return None
+        from repro.cache.artifacts import resolve_walk_cache
+
+        store = resolve_walk_cache(walk_cache)
+        if store is not None and self.graph.fingerprint is None:
+            return None
+        return store
+
+    def _corpus_params(self, walk_length: int, p: float, q: float) -> Dict[str, Any]:
+        """The parameter block shared by every pass key of one corpus."""
+        return {
+            "graph": self.graph.fingerprint,
+            "walk_length": int(walk_length),
+            "p": float(p),
+            "q": float(q),
+            "second_order": self.resolved_second_order(p, q),
+        }
+
+    def _stream_passes(self, num_walks, walk_length, p, q, rng, store=None):
+        """Passes on the shared sequential stream (the legacy discipline).
+
+        With a ``store``, passes are keyed on the generator's *initial*
+        bit-generator state plus the pass index — the whole sequence is a
+        deterministic function of that state, including the cumulative node
+        ordering (each pass shuffles the previous pass's order in place).
+        A hit restores both pieces of evolving state from the artifact: the
+        node order is the artifact's first column (``walks[:, 0]`` is the
+        shuffled frontier, recorded even for isolated nodes), and the
+        post-pass generator state is in its manifest — so any later miss
+        recomputes from exactly the position recomputing every pass would
+        have reached.
+        """
         nodes = np.arange(self.graph.num_nodes)
-        for _ in range(num_walks):
+        if store is None:
+            for _ in range(num_walks):
+                rng.shuffle(nodes)
+                yield self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+            return
+        params = self._corpus_params(walk_length, p, q)
+        init_state = rng.bit_generator.state
+        for index in range(num_walks):
+            payload = dict(
+                params, mode="stream", init_state=init_state, index=index
+            )
+            key = store.corpus_key(payload)
+            hit = store.load(key)
+            if hit is not None:
+                matrix, manifest = hit
+                restored = self._restore_stream_state(rng, matrix, manifest)
+                if restored is not None:
+                    nodes = restored
+                    yield matrix
+                    continue
             rng.shuffle(nodes)
-            yield self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+            matrix = self.node2vec_walks(nodes, walk_length, p=p, q=q, rng=rng)
+            store.save(key, matrix, payload, post_state=rng.bit_generator.state)
+            yield matrix
 
-    def _pooled_passes(self, num_walks, walk_length, p, q, rng, workers):
-        """Derived-seed passes from a process pool, with bounded prefetch."""
+    @staticmethod
+    def _restore_stream_state(rng, matrix, manifest) -> Optional[np.ndarray]:
+        """Apply one stream artifact's side effects; node order or ``None``.
+
+        Returns the recovered (writable) node ordering on success; ``None``
+        means the manifest cannot drive a replay (missing or incompatible
+        post-pass state — e.g. written under a different bit generator) and
+        the caller falls back to recomputing the pass.
+        """
+        post_state = manifest.get("post_state")
+        if not isinstance(post_state, dict):
+            return None
+        try:
+            rng.bit_generator.state = post_state
+        except (KeyError, TypeError, ValueError, RuntimeError):
+            return None
+        return np.array(matrix[:, 0], dtype=np.int64)
+
+    def _pooled_passes(self, num_walks, walk_length, p, q, rng, workers, store=None):
+        """Derived-seed passes from a process pool, with bounded prefetch.
+
+        With a ``store``, each pass is keyed on its derived seed (the pass is
+        a pure function of it); cached passes are served as mmap views and
+        only the misses are submitted to the pool — when every pass hits, no
+        pool is created at all.  The parent persists freshly computed passes,
+        keeping the write discipline single-process.
+        """
         from collections import deque
 
         seeds = derive_pass_seeds(rng, num_walks)
-        tasks = deque((int(seed), walk_length, p, q) for seed in seeds)
+        cached: list = [None] * num_walks
+        keys: list = [None] * num_walks
+        if store is not None:
+            params = self._corpus_params(walk_length, p, q)
+            payloads = [
+                dict(params, mode="derived", seed=int(seed)) for seed in seeds
+            ]
+            keys = [store.corpus_key(payload) for payload in payloads]
+            for index, key in enumerate(keys):
+                hit = store.load(key)
+                if hit is not None:
+                    cached[index] = hit[0]
+        missing = deque(i for i in range(num_walks) if cached[i] is None)
+        if not missing:
+            yield from cached
+            return
         with ProcessPoolExecutor(
-            max_workers=min(int(workers), num_walks),
+            max_workers=min(int(workers), len(missing)),
             initializer=_init_pool_engine,
             initargs=(self.graph,),
         ) as pool:
-            in_flight = deque(
-                pool.submit(_pool_corpus_pass, tasks.popleft())
-                for _ in range(min(int(workers) + 1, len(tasks)))
-            )
-            while in_flight:
-                matrix = in_flight.popleft().result()
-                if tasks:
-                    in_flight.append(pool.submit(_pool_corpus_pass, tasks.popleft()))
+
+            def submit(index):
+                task = (int(seeds[index]), walk_length, p, q)
+                return index, pool.submit(_pool_corpus_pass, task)
+
+            prime = min(int(workers) + 1, len(missing))
+            in_flight = deque(submit(missing.popleft()) for _ in range(prime))
+            for index in range(num_walks):
+                if cached[index] is not None:
+                    yield cached[index]
+                    continue
+                ready, future = in_flight.popleft()
+                assert ready == index  # hits never enter the submit queue
+                matrix = future.result()
+                if missing:
+                    in_flight.append(submit(missing.popleft()))
+                if store is not None:
+                    store.save(keys[index], matrix, payloads[index])
                 yield matrix
 
     def corpus_pass(
@@ -342,15 +480,46 @@ class WalkEngine:
         )
 
     def _frontier_sharded_passes(
-        self, num_walks, walk_length, p, q, rng, workers, frontier_shard
+        self, num_walks, walk_length, p, q, rng, workers, frontier_shard,
+        store=None,
     ):
-        """Derived-seed sharded passes, serial or pooled — same bytes either way."""
+        """Derived-seed sharded passes, serial or pooled — same bytes either way.
+
+        The artifact unit is the *assembled* pass (shards stacked in order),
+        keyed on the pass seed plus the shard size — the pass is a pure
+        function of both, identical for every worker count, so a corpus
+        cached by a pooled run replays bit-for-bit in a serial one and vice
+        versa.  Only the seeds whose pass misses are walked (or sent to the
+        pool) at all.
+        """
         seeds = derive_pass_seeds(rng, num_walks)
-        if workers <= 1:
-            for seed in seeds:
-                yield self.frontier_sharded_pass(
+        cached: list = [None] * num_walks
+        keys: list = [None] * num_walks
+        payloads: list = [None] * num_walks
+        if store is not None:
+            params = self._corpus_params(walk_length, p, q)
+            for index, seed in enumerate(seeds):
+                payloads[index] = dict(
+                    params,
+                    mode="sharded",
+                    seed=int(seed),
+                    frontier_shard=int(frontier_shard),
+                )
+                keys[index] = store.corpus_key(payloads[index])
+                hit = store.load(keys[index])
+                if hit is not None:
+                    cached[index] = hit[0]
+        if workers <= 1 or all(m is not None for m in cached):
+            for index, seed in enumerate(seeds):
+                if cached[index] is not None:
+                    yield cached[index]
+                    continue
+                matrix = self.frontier_sharded_pass(
                     int(seed), walk_length, p=p, q=q, frontier_shard=frontier_shard
                 )
+                if store is not None:
+                    store.save(keys[index], matrix, payloads[index])
+                yield matrix
             return
         num_shards = self.num_frontier_shards(frontier_shard)
         with ProcessPoolExecutor(
@@ -358,7 +527,10 @@ class WalkEngine:
             initializer=_init_pool_engine,
             initargs=(self.graph,),
         ) as pool:
-            for seed in seeds:
+            for index, seed in enumerate(seeds):
+                if cached[index] is not None:
+                    yield cached[index]
+                    continue
                 futures = [
                     pool.submit(
                         _pool_frontier_shard,
@@ -368,7 +540,10 @@ class WalkEngine:
                 ]
                 # Collect in shard order: the stacked pass is then identical
                 # to the serial reference regardless of completion order.
-                yield np.vstack([f.result() for f in futures])
+                matrix = np.vstack([f.result() for f in futures])
+                if store is not None:
+                    store.save(keys[index], matrix, payloads[index])
+                yield matrix
 
     # ------------------------------------------------------------------
     # node2vec (second-order) walks
@@ -405,10 +580,7 @@ class WalkEngine:
         if walk_length <= 0:
             raise ValueError(f"walk_length must be positive, got {walk_length}")
         rng = ensure_rng(rng)
-        use_table = second_order == "table" or (
-            second_order == "auto"
-            and self.second_order_entry_count() <= self.second_order_entry_limit
-        )
+        use_table = self.resolved_second_order(p, q, second_order) == "table"
         table = self.second_order_table(p, q) if use_table else None
         num_nodes = np.int64(self.graph.num_nodes)
 
@@ -435,8 +607,33 @@ class WalkEngine:
         return walks
 
     def second_order_entry_count(self) -> int:
-        """Entries a second-order table would hold: ``sum_v degree(v)^2``."""
-        return int((self._degrees.astype(np.float64) ** 2).sum())
+        """Entries a second-order table would hold: ``sum_v degree(v)^2``.
+
+        Cached on the engine: the degree distribution never changes (graph
+        buffers are read-only), and the ``"auto"`` dispatch in
+        :meth:`node2vec_walks` consults this once *per pass*, which made the
+        O(num_nodes) reduction a recurring per-pass cost on large graphs.
+        """
+        if self._entry_count is None:
+            self._entry_count = int((self._degrees.astype(np.float64) ** 2).sum())
+        return self._entry_count
+
+    def resolved_second_order(self, p: float, q: float, second_order: str = "auto") -> str:
+        """The sampling mode a walk with these parameters actually uses.
+
+        ``"uniform"`` for ``p = q = 1`` (dispatched to first-order walks),
+        otherwise the table/rejection choice ``"auto"`` resolves to.  Part of
+        every corpus artifact key: the two biased modes draw the same
+        distribution but consume the RNG differently, so their passes must
+        never alias.
+        """
+        if float(p) == 1.0 and float(q) == 1.0:
+            return "uniform"
+        if second_order == "auto":
+            if self.second_order_entry_count() <= self.second_order_entry_limit:
+                return "table"
+            return "rejection"
+        return second_order
 
     def _arc_keys(self) -> np.ndarray:
         """Sorted encoded directed arcs ``src * num_nodes + dst`` (2|E| entries)."""
